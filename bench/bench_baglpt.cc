@@ -1,0 +1,79 @@
+// E7 (Lemma 8): bag-LPT invariants, measured. Starting from equal machine
+// heights, (a) any two machines end within p_max of each other and (b) the
+// highest machine is at most h + A/m' + p_max. Both bounds are hard
+// invariants — the `viol` columns must stay 0 across the sweep.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "gen/generators.h"
+#include "sched/bag_lpt.h"
+#include "util/csv.h"
+
+namespace {
+
+namespace gen = bagsched::gen;
+namespace sched = bagsched::sched;
+
+void print_baglpt_table() {
+  bagsched::util::Table table({"m", "bags", "seed", "spread", "pmax",
+                               "makespan", "bound(x+pmax)", "viol"});
+  for (const int m : {4, 8, 16, 32}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      gen::BagHeavyParams params;
+      params.num_machines = m;
+      params.num_bags = m;  // m bags of m jobs: dense
+      params.fill = 1.0;
+      params.seed = seed;
+      const auto instance = gen::bag_heavy(params);
+      const auto schedule = sched::bag_lpt(instance);
+      const auto loads = schedule.loads(instance);
+      const double lo = *std::min_element(loads.begin(), loads.end());
+      const double hi = *std::max_element(loads.begin(), loads.end());
+      const double x = instance.total_area() / m;
+      const double bound = x + instance.max_size();
+      const int violations =
+          (hi - lo > instance.max_size() + 1e-9 ? 1 : 0) +
+          (hi > bound + 1e-9 ? 1 : 0);
+      table.row()
+          .add(m)
+          .add(instance.num_bags())
+          .add(static_cast<long long>(seed))
+          .add(hi - lo, 4)
+          .add(instance.max_size(), 4)
+          .add(hi, 4)
+          .add(bound, 4)
+          .add(violations);
+    }
+  }
+  std::cout << "\n=== E7 / Lemma 8: bag-LPT spread and height bounds ===\n";
+  table.write_aligned(std::cout);
+  std::cout << "expected shape: spread <= pmax, makespan <= bound, "
+               "viol = 0 everywhere\n\n";
+}
+
+void BM_BagLpt(benchmark::State& state) {
+  gen::BagHeavyParams params;
+  params.num_machines = static_cast<int>(state.range(0));
+  params.num_bags = static_cast<int>(state.range(0));
+  params.fill = 1.0;
+  params.seed = 1;
+  const auto instance = gen::bag_heavy(params);
+  for (auto _ : state) {
+    auto schedule = sched::bag_lpt(instance);
+    benchmark::DoNotOptimize(schedule.num_jobs());
+  }
+  state.counters["jobs"] = instance.num_jobs();
+}
+BENCHMARK(BM_BagLpt)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_baglpt_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

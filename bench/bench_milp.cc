@@ -1,0 +1,146 @@
+// E8 (Lemma 6): cost of the MILP stage. The paper bounds the solve time by
+// a function of the number of integral variables; in the column-generated
+// implementation that maps to columns (patterns) and branch-and-bound
+// nodes. The table reports both across instance shapes, plus raw
+// LP/MILP-substrate timings.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "eptas/classify.h"
+#include "eptas/milp_model.h"
+#include "eptas/transform.h"
+#include "gen/generators.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+#include "model/lower_bounds.h"
+#include "util/csv.h"
+#include "util/prng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+namespace eptas = bagsched::eptas;
+namespace gen = bagsched::gen;
+using bagsched::model::Instance;
+
+void print_master_table() {
+  bagsched::util::Table table({"m", "n", "prio_cap", "prio_bags",
+                               "x_sizes", "columns", "pricing_rounds",
+                               "milp_nodes", "seconds"});
+  for (const int m : {6, 12}) {
+    for (const int prio_cap : {1, 2, 4, 8}) {
+      // Planted at a tight guess (1.05 * OPT): plenty of medium/large
+      // jobs, so the pattern machinery is genuinely exercised.
+      const auto planted =
+          gen::planted({.num_machines = m,
+                        .num_bags = 3 * m,
+                        .min_jobs_per_machine = 3,
+                        .max_jobs_per_machine = 6,
+                        .target = 1.0,
+                        .seed = 5});
+      const double guess = 1.05;
+      std::vector<double> sizes;
+      std::vector<bagsched::model::BagId> bags;
+      for (const auto& job : planted.instance.jobs()) {
+        sizes.push_back(job.size / guess);
+        bags.push_back(job.bag);
+      }
+      const Instance scaled = Instance::from_vectors(
+          sizes, bags, planted.instance.num_machines());
+      eptas::EptasConfig config;
+      config.max_priority_per_size = prio_cap;
+      config.max_priority_total = 2 * prio_cap;
+      const auto cls = eptas::classify(scaled, 0.5, config);
+      if (!cls) continue;
+      const auto transformed = eptas::transform(scaled, *cls);
+      const auto space = eptas::build_pattern_space(transformed, *cls);
+      bagsched::util::Stopwatch timer;
+      const auto master =
+          eptas::solve_master(space, transformed, *cls, config);
+      const double seconds = timer.seconds();
+      if (!master) continue;
+      table.row()
+          .add(m)
+          .add(planted.instance.num_jobs())
+          .add(prio_cap)
+          .add(space.num_priority())
+          .add(space.num_x_sizes())
+          .add(master->stats.columns)
+          .add(master->stats.pricing_rounds)
+          .add(master->stats.milp_nodes)
+          .add(seconds, 4);
+    }
+  }
+  std::cout << "\n=== E8 / Lemma 6: pattern MILP cost ===\n";
+  table.write_aligned(std::cout);
+  std::cout << "expected shape: columns and time grow with the priority "
+               "cap (the practical analogue of z integral variables)\n\n";
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random dense LP of the given size.
+  const int n = static_cast<int>(state.range(0));
+  bagsched::util::Xoshiro256 rng(42);
+  bagsched::lp::Model model;
+  for (int i = 0; i < n; ++i) {
+    model.add_variable(rng.uniform_real(0.5, 2.0), 0.0, 5.0);
+  }
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.emplace_back(i, rng.uniform_real(0.0, 1.0));
+    }
+    model.add_constraint(std::move(terms),
+                         bagsched::lp::Sense::LessEqual,
+                         rng.uniform_real(2.0, 8.0));
+  }
+  for (auto _ : state) {
+    auto result = bagsched::lp::solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MasterSolve(benchmark::State& state) {
+  const auto planted =
+      gen::planted({.num_machines = static_cast<int>(state.range(0)),
+                    .num_bags = static_cast<int>(3 * state.range(0)),
+                    .min_jobs_per_machine = 3,
+                    .max_jobs_per_machine = 6,
+                    .target = 1.0,
+                    .seed = 5});
+  const double guess = 1.05;
+  std::vector<double> sizes;
+  std::vector<bagsched::model::BagId> bags;
+  for (const auto& job : planted.instance.jobs()) {
+    sizes.push_back(job.size / guess);
+    bags.push_back(job.bag);
+  }
+  const Instance scaled = Instance::from_vectors(
+      sizes, bags, planted.instance.num_machines());
+  const eptas::EptasConfig config;
+  const auto cls = eptas::classify(scaled, 0.5, config);
+  if (!cls) {
+    state.SkipWithError("classification failed");
+    return;
+  }
+  const auto transformed = eptas::transform(scaled, *cls);
+  const auto space = eptas::build_pattern_space(transformed, *cls);
+  for (auto _ : state) {
+    auto master = eptas::solve_master(space, transformed, *cls, config);
+    benchmark::DoNotOptimize(master);
+  }
+}
+BENCHMARK(BM_MasterSolve)->Arg(6)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_master_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

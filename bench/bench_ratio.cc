@@ -1,0 +1,97 @@
+// E1 (Theorem 1, approximation ratio): EPTAS makespan against the planted
+// optimum across eps values, machine counts and seeds. The paper proves
+// ratio <= 1 + O(eps); the table's `max_ratio` column must stay below
+// 1 + c*eps with a small c, and shrink as eps shrinks.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "eptas/eptas.h"
+#include "gen/generators.h"
+#include "util/csv.h"
+
+namespace {
+
+using bagsched::eptas::eptas_schedule;
+
+void print_ratio_table() {
+  bagsched::util::Table table({"eps", "m", "jobs~", "seeds", "mean_ratio",
+                               "max_ratio", "pipe_max", "bound(1+2eps)",
+                               "pipe_fail"});
+  for (const double eps : {0.75, 0.5, 1.0 / 3.0, 0.25}) {
+    for (const int m : {4, 8, 16}) {
+      double sum_ratio = 0.0;
+      double max_ratio = 0.0;
+      double pipe_max = 0.0;  // ratio of the pipeline's own schedule
+      int pipe_fail = 0;
+      int jobs = 0;
+      const int seeds = 5;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const auto planted =
+            bagsched::gen::planted({.num_machines = m,
+                                    .num_bags = 3 * m,
+                                    .min_jobs_per_machine = 2,
+                                    .max_jobs_per_machine = 5,
+                                    .target = 1.0,
+                                    .seed = seed});
+        jobs = planted.instance.num_jobs();
+        const auto result = eptas_schedule(planted.instance, eps);
+        const double ratio = result.makespan / planted.opt;
+        sum_ratio += ratio;
+        max_ratio = std::max(max_ratio, ratio);
+        if (result.stats.pipeline_succeeded) {
+          pipe_max = std::max(pipe_max,
+                              result.stats.pipeline_makespan / planted.opt);
+        } else {
+          ++pipe_fail;
+        }
+      }
+      table.row()
+          .add(eps, 3)
+          .add(m)
+          .add(jobs)
+          .add(seeds)
+          .add(sum_ratio / seeds, 4)
+          .add(max_ratio, 4)
+          .add(pipe_max, 4)
+          .add(1.0 + 2.0 * eps, 3)
+          .add(pipe_fail);
+    }
+  }
+  std::cout << "\n=== E1 / Theorem 1: EPTAS ratio vs planted OPT ===\n";
+  table.write_aligned(std::cout);
+  std::cout << "mean/max_ratio: returned schedule (pipeline or fallback, "
+               "whichever is better).\npipe_max: the pipeline's own "
+               "schedule — the Theorem 1 object; must stay <= bound.\n"
+               "expected shape: ratios <= bound and non-increasing in eps, "
+               "pipe_fail = 0\n\n";
+}
+
+void BM_EptasPlanted(benchmark::State& state) {
+  const auto planted = bagsched::gen::planted(
+      {.num_machines = static_cast<int>(state.range(0)),
+       .num_bags = static_cast<int>(3 * state.range(0)),
+       .min_jobs_per_machine = 2,
+       .max_jobs_per_machine = 5,
+       .target = 1.0,
+       .seed = 1});
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  for (auto _ : state) {
+    auto result = eptas_schedule(planted.instance, eps);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_EptasPlanted)
+    ->Args({8, 50})
+    ->Args({8, 33})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ratio_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E2 (Theorem 1, running time): the EPTAS must scale polynomially in n at
+// fixed eps (the f(1/eps) * poly(n) form). The n-sweep benchmarks the
+// poly(n) part; the eps-sweep exposes the f(1/eps) blow-up.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "eptas/eptas.h"
+#include "gen/generators.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using bagsched::eptas::eptas_schedule;
+
+void print_scaling_table() {
+  bagsched::util::Table table(
+      {"sweep", "n", "m", "eps", "seconds", "guesses", "columns"});
+  // n-sweep at fixed eps = 1/2.
+  for (const int scale : {1, 2, 4, 8}) {
+    const int m = 4 * scale;
+    const auto planted =
+        bagsched::gen::planted({.num_machines = m,
+                                .num_bags = 3 * m,
+                                .min_jobs_per_machine = 3,
+                                .max_jobs_per_machine = 6,
+                                .target = 1.0,
+                                .seed = 7});
+    bagsched::util::Stopwatch timer;
+    const auto result = eptas_schedule(planted.instance, 0.5);
+    table.row()
+        .add("n")
+        .add(planted.instance.num_jobs())
+        .add(m)
+        .add(0.5, 3)
+        .add(timer.seconds(), 4)
+        .add(result.stats.guesses_tried)
+        .add(result.stats.columns);
+  }
+  // eps-sweep at fixed shape.
+  for (const double eps : {0.8, 0.6, 0.5, 0.4, 1.0 / 3.0}) {
+    const auto planted =
+        bagsched::gen::planted({.num_machines = 8,
+                                .num_bags = 24,
+                                .min_jobs_per_machine = 3,
+                                .max_jobs_per_machine = 6,
+                                .target = 1.0,
+                                .seed = 7});
+    bagsched::util::Stopwatch timer;
+    const auto result = eptas_schedule(planted.instance, eps);
+    table.row()
+        .add("eps")
+        .add(planted.instance.num_jobs())
+        .add(8)
+        .add(eps, 3)
+        .add(timer.seconds(), 4)
+        .add(result.stats.guesses_tried)
+        .add(result.stats.columns);
+  }
+  std::cout << "\n=== E2 / Theorem 1: runtime scaling ===\n";
+  table.write_aligned(std::cout);
+  std::cout << "expected shape: near-linear growth in n at fixed eps; "
+               "steeper growth as eps shrinks\n\n";
+}
+
+void BM_EptasVsN(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto planted =
+      bagsched::gen::planted({.num_machines = m,
+                              .num_bags = 3 * m,
+                              .min_jobs_per_machine = 3,
+                              .max_jobs_per_machine = 6,
+                              .target = 1.0,
+                              .seed = 7});
+  for (auto _ : state) {
+    auto result = eptas_schedule(planted.instance, 0.5);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.counters["n"] = planted.instance.num_jobs();
+}
+BENCHMARK(BM_EptasVsN)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EptasVsEps(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  const auto planted =
+      bagsched::gen::planted({.num_machines = 8,
+                              .num_bags = 24,
+                              .min_jobs_per_machine = 3,
+                              .max_jobs_per_machine = 6,
+                              .target = 1.0,
+                              .seed = 7});
+  for (auto _ : state) {
+    auto result = eptas_schedule(planted.instance, eps);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_EptasVsEps)->Arg(80)->Arg(50)->Arg(40)->Arg(33)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

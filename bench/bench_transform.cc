@@ -1,0 +1,99 @@
+// E4 (Lemma 2 / Figure 2): the instance transformation splits non-priority
+// bags and adds filler jobs. Lemma 2 bounds the loss: a makespan-C solution
+// of I yields a makespan-(1+eps)C solution of I'. We measure the area
+// inflation (the global version of that bound) and the structural effect
+// (bags split, fillers added, mediums removed).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "eptas/classify.h"
+#include "eptas/transform.h"
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+#include "util/csv.h"
+
+namespace {
+
+namespace eptas = bagsched::eptas;
+namespace gen = bagsched::gen;
+using bagsched::model::Instance;
+
+Instance scaled_to_guess(const Instance& instance, double guess) {
+  std::vector<double> sizes;
+  std::vector<bagsched::model::BagId> bags;
+  for (const auto& job : instance.jobs()) {
+    sizes.push_back(job.size / guess);
+    bags.push_back(job.bag);
+  }
+  return Instance::from_vectors(sizes, bags, instance.num_machines());
+}
+
+void print_transform_table() {
+  bagsched::util::Table table({"family", "eps", "n", "bags", "split_bags",
+                               "fillers", "mediums_out", "area_ratio",
+                               "bound(1+eps)"});
+  for (const auto* family : {"mixed", "uniform", "twopoint", "smallbags"}) {
+    for (const double eps : {0.5, 1.0 / 3.0}) {
+      const Instance raw = gen::by_name(family, 80, 8, 3);
+      const double guess =
+          1.2 * bagsched::model::combined_lower_bound(raw);
+      const Instance scaled = scaled_to_guess(raw, guess);
+      const auto cls = eptas::classify(scaled, eps, eptas::EptasConfig{});
+      if (!cls) continue;
+      const auto transformed = eptas::transform(scaled, *cls);
+
+      int split_bags = 0;
+      for (std::size_t l = 0; l < transformed.is_large_part.size(); ++l) {
+        if (transformed.is_large_part[l]) ++split_bags;
+      }
+      int fillers = 0;
+      for (std::size_t j = 0; j < transformed.is_filler.size(); ++j) {
+        if (transformed.is_filler[j]) ++fillers;
+      }
+      double original_area = 0.0;
+      for (int j = 0; j < scaled.num_jobs(); ++j) {
+        original_area += cls->size_of(j);
+      }
+      double new_area = transformed.instance.total_area();
+      for (const auto medium : transformed.removed_medium) {
+        new_area += cls->size_of(medium);
+      }
+      table.row()
+          .add(family)
+          .add(eps, 3)
+          .add(raw.num_jobs())
+          .add(raw.num_bags())
+          .add(split_bags)
+          .add(fillers)
+          .add(static_cast<long long>(transformed.removed_medium.size()))
+          .add(new_area / original_area, 4)
+          .add(1.0 + eps, 3);
+    }
+  }
+  std::cout << "\n=== E4 / Lemma 2, Figure 2: transformation loss ===\n";
+  table.write_aligned(std::cout);
+  std::cout << "expected shape: area_ratio <= bound for every family\n\n";
+}
+
+void BM_Transform(benchmark::State& state) {
+  const Instance raw =
+      gen::by_name("mixed", static_cast<int>(state.range(0)), 8, 3);
+  const double guess = 1.2 * bagsched::model::combined_lower_bound(raw);
+  const Instance scaled = scaled_to_guess(raw, guess);
+  const auto cls = eptas::classify(scaled, 0.5, eptas::EptasConfig{});
+  for (auto _ : state) {
+    auto transformed = eptas::transform(scaled, *cls);
+    benchmark::DoNotOptimize(transformed.instance.num_jobs());
+  }
+}
+BENCHMARK(BM_Transform)->Arg(80)->Arg(320)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_transform_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

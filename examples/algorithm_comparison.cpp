@@ -1,0 +1,67 @@
+// Algorithm comparison across workload families.
+//
+//   $ ./algorithm_comparison [n] [m] [seeds]
+//
+// Runs every scheduler in the library over every generator family and
+// prints one ratio table — a miniature of the E9 benchmark that users can
+// point at their own parameters.
+#include <cstdlib>
+#include <iostream>
+
+#include "eptas/eptas.h"
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+#include "sched/bag_lpt.h"
+#include "sched/exact.h"
+#include "sched/greedy_bags.h"
+#include "sched/local_search.h"
+#include "sched/multifit.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace bagsched;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 36;
+  const int m = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int seeds = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  std::cout << "comparing schedulers: n=" << n << " m=" << m
+            << " seeds=" << seeds << " eps=0.5\n\n";
+
+  util::Table table({"family", "greedy", "bag_lpt", "multifit", "local",
+                     "eptas", "exact*"});
+  for (const auto& family : gen::family_names()) {
+    double greedy = 0, baglpt = 0, mf = 0, local = 0, ep = 0, exact = 0;
+    int exact_solved = 0;
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+         ++seed) {
+      const model::Instance instance = gen::by_name(family, n, m, seed);
+      const double lower = model::combined_lower_bound(instance);
+      greedy += sched::greedy_bags(instance).makespan(instance) / lower;
+      baglpt += sched::bag_lpt(instance).makespan(instance) / lower;
+      mf += sched::multifit(instance).makespan(instance) / lower;
+      local += sched::local_search(instance).makespan(instance) / lower;
+      ep += eptas::eptas_schedule(instance, 0.5).makespan / lower;
+      if (n <= 20) {
+        const auto result = sched::solve_exact(instance);
+        if (result.proven_optimal) {
+          exact += result.makespan / lower;
+          ++exact_solved;
+        }
+      }
+    }
+    table.row()
+        .add(family)
+        .add(greedy / seeds, 4)
+        .add(baglpt / seeds, 4)
+        .add(mf / seeds, 4)
+        .add(local / seeds, 4)
+        .add(ep / seeds, 4)
+        .add(exact_solved > 0 ? std::to_string(exact / exact_solved)
+                              : std::string("-"));
+  }
+  table.write_aligned(std::cout);
+  std::cout << "\nall values are makespan / combined-lower-bound, averaged "
+               "over seeds.\nexact* only runs when n <= 20.\n";
+  return 0;
+}

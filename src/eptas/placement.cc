@@ -1,0 +1,273 @@
+#include "eptas/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/grid.h"
+#include "util/logging.h"
+
+namespace bagsched::eptas {
+
+using model::BagId;
+using model::JobId;
+
+namespace {
+
+/// Mutable placement state shared by the helpers below.
+struct State {
+  const Transformed* transformed = nullptr;
+  PlacementResult result;
+  /// Per machine: set of I' bags with an ml job on it.
+  std::vector<std::set<BagId>> bags_on;
+
+  bool conflicts(int machine, BagId bag) const {
+    return bags_on[static_cast<std::size_t>(machine)].count(bag) > 0;
+  }
+
+  void put(JobId job, int machine) {
+    const BagId bag = transformed->instance.job(job).bag;
+    result.schedule.assign(job, machine);
+    bags_on[static_cast<std::size_t>(machine)].insert(bag);
+    result.ml_load[static_cast<std::size_t>(machine)] +=
+        transformed->instance.job(job).size;
+  }
+
+  void remove(JobId job) {
+    const int machine = result.schedule.machine_of(job);
+    const BagId bag = transformed->instance.job(job).bag;
+    result.schedule.assign(job, model::kUnassigned);
+    bags_on[static_cast<std::size_t>(machine)].erase(bag);
+    result.ml_load[static_cast<std::size_t>(machine)] -=
+        transformed->instance.job(job).size;
+  }
+};
+
+/// Tries the paper's Lemma-7 swap: find an already-placed ml job `other` of
+/// the same size on machine d such that `other`'s bag is absent from
+/// `machine` and `bag` is absent from d. On success `other` moves to
+/// `machine` and the caller may place the new job on d. Returns d or -1.
+int find_swap_partner(State& state, double size, BagId bag, int machine,
+                      const std::vector<JobId>& candidates) {
+  const auto& inst = state.transformed->instance;
+  for (JobId other : candidates) {
+    if (!state.result.schedule.is_assigned(other)) continue;
+    if (!util::approx_eq(inst.job(other).size, size)) continue;
+    const int d = state.result.schedule.machine_of(other);
+    if (d == machine) continue;
+    const BagId other_bag = inst.job(other).bag;
+    if (other_bag == bag) continue;
+    if (state.conflicts(machine, other_bag)) continue;
+    if (state.conflicts(d, bag)) continue;
+    state.remove(other);
+    state.put(other, machine);
+    ++state.result.swaps;
+    return d;
+  }
+  return -1;
+}
+
+/// Least-ml-loaded machine without the bag; -1 when every machine conflicts.
+int rescue_machine(const State& state, BagId bag) {
+  int best = -1;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int machine = 0;
+       machine < state.transformed->instance.num_machines(); ++machine) {
+    if (state.conflicts(machine, bag)) continue;
+    if (state.result.ml_load[static_cast<std::size_t>(machine)] <
+        best_load) {
+      best_load = state.result.ml_load[static_cast<std::size_t>(machine)];
+      best = machine;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<PlacementResult> place_ml_jobs(const Transformed& transformed,
+                                             const PatternSpace& space,
+                                             const MasterSolution& master,
+                                             const EptasConfig& config) {
+  const model::Instance& inst = transformed.instance;
+  const int m = inst.num_machines();
+
+  State state;
+  state.transformed = &transformed;
+  state.result.schedule = model::Schedule(inst.num_jobs(), m);
+  state.result.machine_pattern.assign(static_cast<std::size_t>(m), -1);
+  state.result.ml_load.assign(static_cast<std::size_t>(m), 0.0);
+  state.bags_on.assign(static_cast<std::size_t>(m), {});
+
+  // Expand patterns to machines.
+  {
+    int machine = 0;
+    for (std::size_t p = 0; p < master.patterns.size(); ++p) {
+      for (int c = 0; c < master.multiplicity[p]; ++c) {
+        if (machine >= m) return std::nullopt;  // master violated R1
+        state.result.machine_pattern[static_cast<std::size_t>(machine)] =
+            static_cast<int>(p);
+        ++machine;
+      }
+    }
+  }
+
+  // ---- Priority bags: jobs into their designated slots (with origin). ----
+  for (int i = 0; i < space.num_priority(); ++i) {
+    const auto& pbag = space.priority_bags[static_cast<std::size_t>(i)];
+    for (std::size_t s = 0; s < pbag.sizes.size(); ++s) {
+      // Jobs of this size-restricted bag.
+      std::vector<JobId> jobs;
+      for (JobId j : inst.bag(pbag.bag)) {
+        if (transformed.class_of(j) != JobClass::Small &&
+            util::approx_eq(inst.job(j).size, pbag.sizes[s])) {
+          jobs.push_back(j);
+        }
+      }
+      // Slots: machines whose pattern chose (i, s).
+      std::size_t next = 0;
+      for (int machine = 0; machine < m && next < jobs.size(); ++machine) {
+        const int p = state.result
+                          .machine_pattern[static_cast<std::size_t>(machine)];
+        if (p < 0) continue;
+        if (master.patterns[static_cast<std::size_t>(p)]
+                .pchoice[static_cast<std::size_t>(i)] !=
+            static_cast<int>(s)) {
+          continue;
+        }
+        state.put(jobs[next], machine);
+        state.result.origin[jobs[next]] = machine;
+        ++next;
+      }
+      if (next < jobs.size()) {
+        // Coverage row guaranteed enough slots; only a master violation can
+        // leave jobs over. Rescue or fail.
+        for (; next < jobs.size(); ++next) {
+          if (!config.enable_rescue) return std::nullopt;
+          const int machine = rescue_machine(state, pbag.bag);
+          if (machine < 0) return std::nullopt;
+          state.put(jobs[next], machine);
+          state.result.origin[jobs[next]] = machine;
+          ++state.result.rescues;
+        }
+      }
+    }
+  }
+
+  // ---- Non-priority (B_x) large jobs: greedy + swap repair (Lemma 7). ----
+  // Candidates for priority-side swaps, per size: all priority ml jobs.
+  std::vector<JobId> priority_ml;
+  for (JobId j = 0; j < inst.num_jobs(); ++j) {
+    const BagId bag = inst.job(j).bag;
+    if (transformed.is_priority[static_cast<std::size_t>(bag)] &&
+        transformed.class_of(j) != JobClass::Small) {
+      priority_ml.push_back(j);
+    }
+  }
+
+  for (int s = 0; s < space.num_x_sizes(); ++s) {
+    const double size = space.x_sizes[static_cast<std::size_t>(s)];
+    // Jobs of this x size grouped by (large-part) bag.
+    std::vector<std::vector<JobId>> by_bag;
+    {
+      std::vector<JobId> jobs;
+      for (JobId j = 0; j < inst.num_jobs(); ++j) {
+        const BagId bag = inst.job(j).bag;
+        if (!transformed.is_priority[static_cast<std::size_t>(bag)] &&
+            transformed.class_of(j) == JobClass::Large &&
+            util::approx_eq(inst.job(j).size, size)) {
+          jobs.push_back(j);
+        }
+      }
+      std::map<BagId, std::vector<JobId>> grouped;
+      for (JobId j : jobs) grouped[inst.job(j).bag].push_back(j);
+      for (auto& [bag, list] : grouped) by_bag.push_back(std::move(list));
+    }
+    // Slot queue: (machine) repeated xcount times.
+    std::vector<int> slots;
+    for (int machine = 0; machine < m; ++machine) {
+      const int p =
+          state.result.machine_pattern[static_cast<std::size_t>(machine)];
+      if (p < 0) continue;
+      const int count = master.patterns[static_cast<std::size_t>(p)]
+                            .xcount[static_cast<std::size_t>(s)];
+      for (int c = 0; c < count; ++c) slots.push_back(machine);
+    }
+    // Already-placed x jobs of this size (swap candidates).
+    std::vector<JobId> placed_here;
+
+    std::size_t slot_index = 0;
+    auto jobs_remaining = [&]() {
+      std::size_t total = 0;
+      for (const auto& list : by_bag) total += list.size();
+      return total;
+    };
+    while (jobs_remaining() > 0) {
+      // Pick the bag with the most remaining jobs (the paper's greedy).
+      std::size_t best_bag = 0;
+      for (std::size_t g = 1; g < by_bag.size(); ++g) {
+        if (by_bag[g].size() > by_bag[best_bag].size()) best_bag = g;
+      }
+      JobId job = by_bag[best_bag].back();
+      BagId bag = inst.job(job).bag;
+
+      if (slot_index < slots.size()) {
+        const int machine = slots[slot_index++];
+        if (!state.conflicts(machine, bag)) {
+          state.put(job, machine);
+          by_bag[best_bag].pop_back();
+          placed_here.push_back(job);
+          continue;
+        }
+        // Prefer a different bag that fits this slot conflict-free.
+        bool placed = false;
+        for (std::size_t g = 0; g < by_bag.size(); ++g) {
+          if (by_bag[g].empty()) continue;
+          const BagId other_bag = inst.job(by_bag[g].back()).bag;
+          if (!state.conflicts(machine, other_bag)) {
+            const JobId other = by_bag[g].back();
+            by_bag[g].pop_back();
+            state.put(other, machine);
+            placed_here.push_back(other);
+            placed = true;
+            break;
+          }
+        }
+        if (placed) continue;
+        // Lemma 7 swap: same-size x job first, then a priority job.
+        int d = find_swap_partner(state, size, bag, machine, placed_here);
+        if (d < 0) {
+          d = find_swap_partner(state, size, bag, machine, priority_ml);
+        }
+        if (d >= 0) {
+          state.put(job, d);
+          by_bag[best_bag].pop_back();
+          placed_here.push_back(job);
+          continue;
+        }
+        // Unrepairable under the practical caps: rescue or fail.
+        if (!config.enable_rescue) return std::nullopt;
+        const int rescue = rescue_machine(state, bag);
+        if (rescue < 0) return std::nullopt;
+        state.put(job, rescue);
+        by_bag[best_bag].pop_back();
+        placed_here.push_back(job);
+        ++state.result.rescues;
+        continue;
+      }
+      // Out of slots (coverage shortfall): rescue or fail.
+      if (!config.enable_rescue) return std::nullopt;
+      const int rescue = rescue_machine(state, bag);
+      if (rescue < 0) return std::nullopt;
+      state.put(job, rescue);
+      by_bag[best_bag].pop_back();
+      placed_here.push_back(job);
+      ++state.result.rescues;
+    }
+  }
+
+  return state.result;
+}
+
+}  // namespace bagsched::eptas

@@ -1,0 +1,46 @@
+// Placement of medium and large jobs according to the master solution
+// (paper §3.1, Lemma 7).
+//
+// Priority-bag jobs go into their designated pattern slots. Non-priority
+// large jobs fill the B_x slots greedily (most-remaining bag first); when a
+// slot would create a conflict, a same-size swap repairs it — first among
+// other B_x slots, then, as in the paper's proof, against a well-placed
+// priority job (such moves are recorded via `origin` so Lemma 11's repair
+// can later undo their interaction with small jobs).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "eptas/classify.h"
+#include "eptas/config.h"
+#include "eptas/milp_model.h"
+#include "eptas/pattern.h"
+#include "eptas/transform.h"
+#include "model/schedule.h"
+
+namespace bagsched::eptas {
+
+struct PlacementResult {
+  /// Schedule over I' with all medium/large jobs assigned (smalls pending).
+  model::Schedule schedule;
+  /// Per machine: index into master.patterns (-1 = empty pattern).
+  std::vector<int> machine_pattern;
+  /// Per machine: load of placed ml jobs.
+  std::vector<double> ml_load;
+  /// Per priority ml job: the machine its pattern slot lives on (the
+  /// "origin" of paper Lemma 11). Jobs moved by swaps keep their origin.
+  std::unordered_map<model::JobId, int> origin;
+  int swaps = 0;    ///< same-size swap repairs performed (Lemma 7)
+  int rescues = 0;  ///< placements outside the pattern structure
+};
+
+/// Returns nullopt only when rescue is disabled and a conflict cannot be
+/// repaired by swapping.
+std::optional<PlacementResult> place_ml_jobs(const Transformed& transformed,
+                                             const PatternSpace& space,
+                                             const MasterSolution& master,
+                                             const EptasConfig& config);
+
+}  // namespace bagsched::eptas

@@ -1,0 +1,62 @@
+// Small-job scheduling (paper §4), medium re-insertion (Lemma 3) and the
+// lift back to the original instance (Lemma 4).
+//
+// Small jobs: machines holding the same pattern form groups; per small bag,
+// group-bag-LPT assigns at most |group| jobs per group (skipping groups
+// whose pattern contains the bag), then bag-LPT places them inside each
+// group — Lemmas 8-10. Conflicts created by earlier Lemma-7 swaps of
+// priority jobs are repaired with the origin-chain walk of Lemma 11.
+//
+// Medium jobs removed by the transformation come back through the Lemma 3
+// flow network, and filler swaps (Lemma 4) turn the I' schedule into a
+// feasible schedule of the original instance.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "eptas/classify.h"
+#include "eptas/config.h"
+#include "eptas/placement.h"
+#include "model/schedule.h"
+
+namespace bagsched::eptas {
+
+struct SmallJobStats {
+  int origin_repairs = 0;   ///< Lemma 11 chain walks performed
+  int lift_swaps = 0;       ///< Lemma 4 filler swaps performed
+  int rescues = 0;          ///< placements outside the lemma structure
+};
+
+/// Schedules every small job of I' on top of `placement` (updates its
+/// schedule in place). Returns false only when rescue is disabled and a
+/// conflict cannot be repaired.
+bool schedule_small_jobs(const Transformed& transformed,
+                         const Classification& cls,
+                         const PatternSpace& space,
+                         const MasterSolution& master,
+                         PlacementResult& placement,
+                         const EptasConfig& config, SmallJobStats& stats);
+
+/// Lemma 3: assigns the removed non-priority medium jobs to machines via a
+/// flow network (no machine receives a job of a bag whose large-part jobs it
+/// already holds, and at most one medium per original bag per machine).
+/// `original` is the scaled instance the mediums come from. Returns machine
+/// per removed medium (parallel to transformed.removed_medium), or nullopt
+/// when no assignment exists.
+std::optional<std::vector<int>> insert_medium_jobs(
+    const model::Instance& original, const Transformed& transformed,
+    const PlacementResult& placement);
+
+/// Lemma 4: resolves conflicts between small jobs and medium/large jobs of
+/// the same *original* bag by swapping with filler jobs, then produces the
+/// final schedule of the original (scaled) instance. `medium_machine` is
+/// parallel to transformed.removed_medium.
+model::Schedule lift_solution(const model::Instance& original,
+                              const Transformed& transformed,
+                              PlacementResult& placement,
+                              const std::vector<int>& medium_machine,
+                              const EptasConfig& config,
+                              SmallJobStats& stats);
+
+}  // namespace bagsched::eptas

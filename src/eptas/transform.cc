@@ -1,0 +1,103 @@
+#include "eptas/transform.h"
+
+#include <algorithm>
+
+namespace bagsched::eptas {
+
+using model::BagId;
+using model::Instance;
+using model::Job;
+using model::JobId;
+
+Transformed transform(const Instance& scaled, const Classification& cls) {
+  const int b = scaled.num_bags();
+
+  Transformed out;
+  std::vector<Job> jobs;
+  out.orig_bag.resize(static_cast<std::size_t>(b));
+  out.is_large_part.assign(static_cast<std::size_t>(b), false);
+  out.is_priority.resize(static_cast<std::size_t>(b));
+  for (BagId l = 0; l < b; ++l) {
+    out.orig_bag[static_cast<std::size_t>(l)] = l;
+    out.is_priority[static_cast<std::size_t>(l)] =
+        cls.is_priority[static_cast<std::size_t>(l)];
+  }
+
+  BagId next_bag = b;
+  auto push_job = [&](double size, BagId bag, JobId orig, bool filler) {
+    Job job;
+    job.size = size;
+    job.bag = bag;
+    jobs.push_back(job);
+    out.orig_job.push_back(orig);
+    out.is_filler.push_back(filler);
+  };
+
+  for (BagId l = 0; l < b; ++l) {
+    if (cls.is_priority[static_cast<std::size_t>(l)]) {
+      // Priority bags are copied verbatim (rounded sizes).
+      for (JobId j : scaled.bag(l)) {
+        push_job(cls.size_of(j), l, j, /*filler=*/false);
+      }
+      continue;
+    }
+    // Non-priority bag: split by class.
+    double pmax_small = 0.0;
+    int ml_count = 0;
+    for (JobId j : scaled.bag(l)) {
+      if (cls.class_of(j) == JobClass::Small) {
+        pmax_small = std::max(pmax_small, cls.size_of(j));
+      } else {
+        ++ml_count;
+      }
+    }
+    BagId large_part = model::kUnassigned;
+    for (JobId j : scaled.bag(l)) {
+      switch (cls.class_of(j)) {
+        case JobClass::Small:
+          push_job(cls.size_of(j), l, j, /*filler=*/false);
+          break;
+        case JobClass::Large:
+          if (large_part == model::kUnassigned) {
+            large_part = next_bag++;
+            out.orig_bag.push_back(l);
+            out.is_large_part.push_back(true);
+            out.is_priority.push_back(false);
+          }
+          push_job(cls.size_of(j), large_part, j, /*filler=*/false);
+          break;
+        case JobClass::Medium:
+          out.removed_medium.push_back(j);
+          break;
+      }
+    }
+    // Fillers only exist when the bag has small jobs (paper: bags without
+    // small jobs are not modified in this respect — there is nothing for a
+    // filler to collide with).
+    if (pmax_small > 0.0 && ml_count > 0) {
+      for (int f = 0; f < ml_count; ++f) {
+        push_job(pmax_small, l, model::kUnassigned, /*filler=*/true);
+      }
+    }
+  }
+
+  out.instance = Instance(std::move(jobs), scaled.num_machines(), next_bag);
+
+  // Classify the I' jobs with the same thresholds.
+  out.job_class.resize(static_cast<std::size_t>(out.instance.num_jobs()));
+  for (JobId j = 0; j < out.instance.num_jobs(); ++j) {
+    const double p = out.instance.job(j).size;
+    JobClass job_class;
+    if (p >= cls.large_threshold - 1e-15) {
+      job_class = JobClass::Large;
+    } else if (p >= cls.medium_threshold - 1e-15) {
+      job_class = JobClass::Medium;
+    } else {
+      job_class = JobClass::Small;
+    }
+    out.job_class[static_cast<std::size_t>(j)] = job_class;
+  }
+  return out;
+}
+
+}  // namespace bagsched::eptas

@@ -1,0 +1,54 @@
+// Instance transformation of paper §2.2 (Figure 2) and the bookkeeping
+// needed to lift a solution of the modified instance I' back to the original
+// instance I (Lemmas 2-4).
+//
+// For every non-priority bag B_l:
+//  * its large jobs move to a fresh "large-part" bag B'_l,
+//  * its medium jobs are removed entirely (re-inserted later via the
+//    Lemma 3 flow network),
+//  * if B_l contains small jobs, one small "filler" job of size
+//    pmax(small jobs of B_l) is added to B_l for every removed large or
+//    medium job.
+//
+// Priority bags are untouched. All sizes in I' are the *rounded* sizes from
+// the classification (the algorithm never sees raw sizes again until the
+// final schedule is evaluated).
+#pragma once
+
+#include <vector>
+
+#include "eptas/classify.h"
+#include "model/instance.h"
+
+namespace bagsched::eptas {
+
+struct Transformed {
+  model::Instance instance;  ///< the modified instance I'
+
+  /// Per I'-job: the original job id, or -1 for filler jobs.
+  std::vector<model::JobId> orig_job;
+  std::vector<bool> is_filler;
+
+  /// Per I'-bag: the original bag it derives from. Large-part bags map to
+  /// the non-priority bag whose large jobs they hold.
+  std::vector<model::BagId> orig_bag;
+  std::vector<bool> is_large_part;  ///< per I'-bag: is a B'_l bag
+  std::vector<bool> is_priority;    ///< per I'-bag (new bags: non-priority)
+
+  /// Original job ids of removed non-priority medium jobs.
+  std::vector<model::JobId> removed_medium;
+
+  /// Per I'-job: class under the classification thresholds.
+  std::vector<JobClass> job_class;
+
+  JobClass class_of(model::JobId j) const {
+    return job_class[static_cast<std::size_t>(j)];
+  }
+};
+
+/// Applies the transformation to the scaled instance using its
+/// classification. The result's instance uses rounded sizes.
+Transformed transform(const model::Instance& scaled,
+                      const Classification& cls);
+
+}  // namespace bagsched::eptas

@@ -1,0 +1,52 @@
+#include "flow/assignment.h"
+
+#include <numeric>
+
+#include "flow/dinic.h"
+
+namespace bagsched::flow {
+
+std::optional<std::vector<std::vector<int>>> solve_assignment(
+    const AssignmentProblem& problem) {
+  const int num_groups = static_cast<int>(problem.demands.size());
+  const int num_slots = static_cast<int>(problem.capacities.size());
+  const std::int64_t total_demand =
+      std::accumulate(problem.demands.begin(), problem.demands.end(),
+                      std::int64_t{0});
+
+  // Node layout: 0 = source, 1..G = groups, G+1..G+S = slots, last = sink.
+  const int source = 0;
+  const int sink = num_groups + num_slots + 1;
+  Dinic dinic(sink + 1);
+
+  for (int g = 0; g < num_groups; ++g) {
+    dinic.add_edge(source, 1 + g, problem.demands[static_cast<std::size_t>(g)]);
+  }
+  // Remember (group, slot) per middle edge to read the assignment back.
+  std::vector<std::tuple<int, int, int>> middle_edges;  // (edge, group, slot)
+  for (int g = 0; g < num_groups; ++g) {
+    for (int s = 0; s < num_slots; ++s) {
+      if (problem.allowed(g, s)) {
+        const int edge = dinic.add_edge(1 + g, 1 + num_groups + s, 1);
+        middle_edges.emplace_back(edge, g, s);
+      }
+    }
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    dinic.add_edge(1 + num_groups + s, sink,
+                   problem.capacities[static_cast<std::size_t>(s)]);
+  }
+
+  if (dinic.max_flow(source, sink) < total_demand) return std::nullopt;
+
+  std::vector<std::vector<int>> result(
+      static_cast<std::size_t>(num_groups));
+  for (const auto& [edge, group, slot] : middle_edges) {
+    if (dinic.flow_on(edge) > 0) {
+      result[static_cast<std::size_t>(group)].push_back(slot);
+    }
+  }
+  return result;
+}
+
+}  // namespace bagsched::flow

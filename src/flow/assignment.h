@@ -1,0 +1,27 @@
+// Bipartite group->slot assignment on top of Dinic, in the exact shape of the
+// paper's Lemma 3 network: source -> group (demand), group -> slot (cap 1,
+// only where allowed), slot -> sink (capacity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace bagsched::flow {
+
+struct AssignmentProblem {
+  /// demand[g]: how many items group g must place.
+  std::vector<int> demands;
+  /// capacity[s]: how many items slot s can accept.
+  std::vector<int> capacities;
+  /// allowed(g, s): whether group g may use slot s (each at most once).
+  std::function<bool(int, int)> allowed;
+};
+
+/// result[g] lists the slots assigned to group g (each slot used at most
+/// once per group). Empty optional when total demand cannot be met.
+std::optional<std::vector<std::vector<int>>> solve_assignment(
+    const AssignmentProblem& problem);
+
+}  // namespace bagsched::flow

@@ -1,0 +1,95 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace bagsched::flow {
+
+Dinic::Dinic(int num_nodes)
+    : graph_(static_cast<std::size_t>(num_nodes)),
+      level_(static_cast<std::size_t>(num_nodes)),
+      iter_(static_cast<std::size_t>(num_nodes)) {}
+
+int Dinic::add_edge(int u, int v, std::int64_t capacity) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  assert(capacity >= 0);
+  auto& forward_list = graph_[static_cast<std::size_t>(u)];
+  auto& backward_list = graph_[static_cast<std::size_t>(v)];
+  forward_list.push_back(
+      Edge{v, capacity, static_cast<int>(backward_list.size())});
+  backward_list.push_back(
+      Edge{u, 0, static_cast<int>(forward_list.size()) - 1});
+  edge_index_.emplace_back(u, static_cast<int>(forward_list.size()) - 1);
+  initial_capacity_.push_back(capacity);
+  return static_cast<int>(edge_index_.size()) - 1;
+}
+
+bool Dinic::build_levels(int source, int sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop();
+    for (const Edge& edge : graph_[static_cast<std::size_t>(node)]) {
+      if (edge.capacity > 0 &&
+          level_[static_cast<std::size_t>(edge.to)] < 0) {
+        level_[static_cast<std::size_t>(edge.to)] =
+            level_[static_cast<std::size_t>(node)] + 1;
+        queue.push(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t Dinic::push(int node, int sink, std::int64_t limit) {
+  if (node == sink) return limit;
+  auto& slot = iter_[static_cast<std::size_t>(node)];
+  auto& edges = graph_[static_cast<std::size_t>(node)];
+  for (; slot < static_cast<int>(edges.size()); ++slot) {
+    Edge& edge = edges[static_cast<std::size_t>(slot)];
+    if (edge.capacity <= 0 ||
+        level_[static_cast<std::size_t>(edge.to)] !=
+            level_[static_cast<std::size_t>(node)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed =
+        push(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      graph_[static_cast<std::size_t>(edge.to)]
+            [static_cast<std::size_t>(edge.reverse)]
+                .capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(int source, int sink) {
+  assert(source != sink);
+  std::int64_t total = 0;
+  while (build_levels(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    for (;;) {
+      const std::int64_t pushed =
+          push(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t Dinic::flow_on(int edge_id) const {
+  const auto& [node, slot] = edge_index_[static_cast<std::size_t>(edge_id)];
+  const Edge& edge =
+      graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)];
+  return initial_capacity_[static_cast<std::size_t>(edge_id)] - edge.capacity;
+}
+
+}  // namespace bagsched::flow

@@ -1,0 +1,47 @@
+// Dinic's maximum-flow algorithm on integer capacities.
+//
+// Substrate for the paper's Lemma 3: medium jobs of non-priority bags are
+// inserted into an existing schedule via an integral flow in a bipartite
+// bag/machine network. Dinic runs in O(V^2 E) generally and O(E sqrt(V)) on
+// unit-capacity bipartite graphs — far below everything else in the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bagsched::flow {
+
+class Dinic {
+ public:
+  explicit Dinic(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(level_.size()); }
+
+  /// Adds a directed edge u->v with the given capacity; returns an edge id
+  /// usable with flow_on() after max_flow().
+  int add_edge(int u, int v, std::int64_t capacity);
+
+  /// Computes the maximum s-t flow; callable once per network state.
+  std::int64_t max_flow(int source, int sink);
+
+  /// Flow pushed over edge `edge_id` (as returned by add_edge).
+  std::int64_t flow_on(int edge_id) const;
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t capacity;  ///< residual capacity
+    int reverse;            ///< index of the reverse edge in graph_[to]
+  };
+
+  bool build_levels(int source, int sink);
+  std::int64_t push(int node, int sink, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_index_;  ///< edge id -> (node, slot)
+  std::vector<std::int64_t> initial_capacity_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace bagsched::flow

@@ -1,0 +1,295 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace bagsched::gen {
+
+using model::BagId;
+using model::Instance;
+using model::Job;
+using util::Xoshiro256;
+
+namespace {
+
+/// Draws a bag id uniformly, retrying while the bag is full (|B_l| = m).
+BagId draw_bag(Xoshiro256& rng, std::vector<int>& bag_fill, int num_machines) {
+  const int num_bags = static_cast<int>(bag_fill.size());
+  // Guard: if every bag is full the caller asked for an infeasible shape.
+  const bool any_free = std::any_of(bag_fill.begin(), bag_fill.end(),
+                                    [&](int f) { return f < num_machines; });
+  if (!any_free) {
+    throw std::invalid_argument("generator: all bags full, infeasible shape");
+  }
+  for (;;) {
+    const BagId bag = static_cast<BagId>(rng.index(
+        static_cast<std::size_t>(num_bags)));
+    if (bag_fill[static_cast<std::size_t>(bag)] < num_machines) {
+      ++bag_fill[static_cast<std::size_t>(bag)];
+      return bag;
+    }
+  }
+}
+
+Instance build(std::vector<double> sizes, std::vector<BagId> bags,
+               int num_machines, Xoshiro256& rng) {
+  // Shuffle jointly so job order carries no information.
+  std::vector<std::size_t> perm(sizes.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  std::vector<double> shuffled_sizes(sizes.size());
+  std::vector<BagId> shuffled_bags(bags.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    shuffled_sizes[i] = sizes[perm[i]];
+    shuffled_bags[i] = bags[perm[i]];
+  }
+  return Instance::from_vectors(shuffled_sizes, shuffled_bags, num_machines);
+}
+
+}  // namespace
+
+Instance uniform(const UniformParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x756e69666f726dULL);
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  std::vector<int> bag_fill(static_cast<std::size_t>(params.num_bags), 0);
+  for (int j = 0; j < params.num_jobs; ++j) {
+    sizes.push_back(rng.uniform_real(params.min_size, params.max_size));
+    bags.push_back(draw_bag(rng, bag_fill, params.num_machines));
+  }
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+PlantedInstance planted(const PlantedParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x706c616e746564ULL);
+  if (params.num_bags < params.max_jobs_per_machine) {
+    throw std::invalid_argument(
+        "planted: need num_bags >= max_jobs_per_machine");
+  }
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  std::vector<BagId> bag_pool(static_cast<std::size_t>(params.num_bags));
+  std::iota(bag_pool.begin(), bag_pool.end(), BagId{0});
+
+  for (int machine = 0; machine < params.num_machines; ++machine) {
+    const int jobs_here = static_cast<int>(rng.uniform_int(
+        params.min_jobs_per_machine, params.max_jobs_per_machine));
+    // Stick-breaking: split `target` into jobs_here positive pieces.
+    std::vector<double> cuts{0.0, params.target};
+    for (int c = 1; c < jobs_here; ++c) {
+      cuts.push_back(rng.uniform_real(0.05 * params.target,
+                                      0.95 * params.target));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    // Distinct bags for this machine's jobs.
+    rng.shuffle(bag_pool);
+    for (int c = 0; c < jobs_here; ++c) {
+      const double piece = cuts[static_cast<std::size_t>(c) + 1] -
+                           cuts[static_cast<std::size_t>(c)];
+      // Degenerate zero-width pieces are merged into the next one instead of
+      // emitting size-0 jobs.
+      if (piece <= 1e-12) continue;
+      sizes.push_back(piece);
+      bags.push_back(bag_pool[static_cast<std::size_t>(c)]);
+    }
+  }
+  PlantedInstance result{
+      build(std::move(sizes), std::move(bags), params.num_machines, rng),
+      params.target};
+  return result;
+}
+
+PlantedInstance figure1(const Figure1Params& params) {
+  Xoshiro256 rng(params.seed ^ 0x66696775726531ULL);
+  const int m = params.num_machines;
+  const double large = 2.0 * params.scale / 3.0;
+  const double small = params.scale / 3.0;
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  // m large jobs of size 2/3*scale, each in its own bag (bags 1..m). A
+  // packing that stacks two of them per machine has height 4/3*scale using
+  // only half the machines — locally plausible, globally the trap.
+  for (int j = 0; j < m; ++j) {
+    sizes.push_back(large);
+    bags.push_back(static_cast<BagId>(j + 1));
+  }
+  // One tight bag (bag 0) with m jobs of size scale/3: its jobs must occupy
+  // every machine, so any machine stacking two large jobs ends at
+  // (4/3 + 1/3)*scale = 5/3*scale. OPT pairs one large with one small
+  // everywhere: exactly `scale`.
+  for (int j = 0; j < m; ++j) {
+    sizes.push_back(small);
+    bags.push_back(0);
+  }
+  PlantedInstance result{
+      build(std::move(sizes), std::move(bags), m, rng), params.scale};
+  return result;
+}
+
+Instance bag_heavy(const BagHeavyParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x6261676865617679ULL);
+  const int per_bag = std::min(
+      params.num_machines,
+      static_cast<int>(std::ceil(params.fill * params.num_machines)));
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  for (BagId bag = 0; bag < params.num_bags; ++bag) {
+    for (int j = 0; j < per_bag; ++j) {
+      sizes.push_back(rng.uniform_real(params.min_size, params.max_size));
+      bags.push_back(bag);
+    }
+  }
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+Instance many_small_bags(const ManySmallBagsParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x736d616c6c626167ULL);
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  BagId next_bag = 0;
+  int jobs_left = params.num_jobs;
+  while (jobs_left > 0) {
+    const int in_bag = static_cast<int>(
+        rng.uniform_int(1, std::min<std::int64_t>(3, jobs_left)));
+    for (int j = 0; j < in_bag; ++j) {
+      sizes.push_back(rng.uniform_real(params.min_size, params.max_size));
+      bags.push_back(next_bag);
+    }
+    ++next_bag;
+    jobs_left -= in_bag;
+  }
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+Instance two_point(const TwoPointParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x74776f706f696e74ULL);
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  std::vector<int> bag_fill(static_cast<std::size_t>(params.num_bags), 0);
+  for (int j = 0; j < params.num_jobs; ++j) {
+    sizes.push_back(rng.bernoulli(params.large_fraction) ? params.large_size
+                                                         : params.small_size);
+    bags.push_back(draw_bag(rng, bag_fill, params.num_machines));
+  }
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+Instance replica(const ReplicaParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x7265706c696361ULL);
+  if (params.replicas > params.num_machines) {
+    throw std::invalid_argument("replica: replicas must be <= machines");
+  }
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  for (BagId task = 0; task < params.tasks; ++task) {
+    const double size = rng.uniform_real(params.min_size, params.max_size);
+    for (int r = 0; r < params.replicas; ++r) {
+      sizes.push_back(size);
+      bags.push_back(task);
+    }
+  }
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+Instance mixed(const MixedParams& params) {
+  Xoshiro256 rng(params.seed ^ 0x6d69786564ULL);
+  std::vector<double> sizes;
+  std::vector<BagId> bags;
+  std::vector<int> bag_fill(static_cast<std::size_t>(params.num_bags), 0);
+  auto emit = [&](int count, double lo, double hi) {
+    for (int j = 0; j < count; ++j) {
+      sizes.push_back(params.target * rng.uniform_real(lo, hi));
+      bags.push_back(draw_bag(rng, bag_fill, params.num_machines));
+    }
+  };
+  emit(params.large_jobs, 0.3, 0.7);
+  emit(params.medium_jobs, 0.05, 0.15);
+  emit(params.small_jobs, 0.005, 0.04);
+  return build(std::move(sizes), std::move(bags), params.num_machines, rng);
+}
+
+Instance by_name(const std::string& family, int num_jobs, int num_machines,
+                 std::uint64_t seed) {
+  // Bags must satisfy num_bags * m >= n for the instance to be feasible;
+  // keep a little slack so the generators' rejection loops terminate fast.
+  const auto bags_for = [&](int jobs) {
+    const int minimum = (jobs + num_machines - 1) / num_machines + 1;
+    return std::max({2, minimum, jobs / 4});
+  };
+  if (family == "uniform") {
+    UniformParams p;
+    p.num_jobs = num_jobs;
+    p.num_machines = num_machines;
+    p.num_bags = bags_for(num_jobs);
+    p.seed = seed;
+    return uniform(p);
+  }
+  if (family == "planted") {
+    PlantedParams p;
+    p.num_machines = num_machines;
+    p.max_jobs_per_machine =
+        std::max(2, num_jobs / std::max(1, num_machines));
+    p.min_jobs_per_machine = std::max(1, p.max_jobs_per_machine / 2);
+    p.num_bags = std::max(p.max_jobs_per_machine, num_jobs / 3);
+    p.seed = seed;
+    return planted(p).instance;
+  }
+  if (family == "figure1") {
+    Figure1Params p;
+    p.num_machines = num_machines;
+    p.seed = seed;
+    return figure1(p).instance;
+  }
+  if (family == "bagheavy") {
+    BagHeavyParams p;
+    p.num_machines = num_machines;
+    p.num_bags = std::max(1, num_jobs / std::max(1, num_machines));
+    p.seed = seed;
+    return bag_heavy(p);
+  }
+  if (family == "smallbags") {
+    ManySmallBagsParams p;
+    p.num_jobs = num_jobs;
+    p.num_machines = num_machines;
+    p.seed = seed;
+    return many_small_bags(p);
+  }
+  if (family == "twopoint") {
+    TwoPointParams p;
+    p.num_jobs = num_jobs;
+    p.num_machines = num_machines;
+    p.num_bags = bags_for(num_jobs);
+    p.seed = seed;
+    return two_point(p);
+  }
+  if (family == "replica") {
+    ReplicaParams p;
+    p.tasks = std::max(1, num_jobs / 3);
+    p.num_machines = num_machines;
+    p.replicas = std::min(3, num_machines);
+    p.seed = seed;
+    return replica(p);
+  }
+  if (family == "mixed") {
+    MixedParams p;
+    p.num_machines = num_machines;
+    p.num_bags = bags_for(num_jobs);
+    p.large_jobs = num_jobs / 8;
+    p.medium_jobs = num_jobs / 4;
+    p.small_jobs = num_jobs - p.large_jobs - p.medium_jobs;
+    p.seed = seed;
+    return mixed(p);
+  }
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+std::vector<std::string> family_names() {
+  return {"uniform", "planted",   "figure1", "bagheavy",
+          "smallbags", "twopoint", "replica", "mixed"};
+}
+
+}  // namespace bagsched::gen

@@ -1,0 +1,137 @@
+// Seeded workload generators for every experiment family in DESIGN.md §5.
+//
+// All generators are deterministic functions of their parameter struct
+// (including the seed), so every benchmark row is reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace bagsched::gen {
+
+/// An instance together with its known optimal makespan (when planted).
+struct PlantedInstance {
+  model::Instance instance;
+  double opt = 0.0;  ///< exact optimal makespan by construction
+};
+
+// ---------------------------------------------------------------------------
+// Uniform family: n jobs with sizes uniform in [min_size, max_size], each job
+// assigned to one of num_bags bags uniformly (re-drawn if a bag would exceed
+// m jobs, which would make the instance infeasible).
+struct UniformParams {
+  int num_jobs = 100;
+  int num_machines = 10;
+  int num_bags = 20;
+  double min_size = 0.1;
+  double max_size = 1.0;
+  std::uint64_t seed = 1;
+};
+model::Instance uniform(const UniformParams& params);
+
+// ---------------------------------------------------------------------------
+// Planted-optimum family: builds a perfect schedule first (every machine
+// filled to exactly `target` with jobs of pairwise-distinct bags), then
+// emits the jobs in shuffled order. OPT equals `target` exactly: the planted
+// schedule achieves it and the area bound matches it.
+struct PlantedParams {
+  int num_machines = 10;
+  int num_bags = 25;          ///< bags to draw from (>= max jobs per machine)
+  int min_jobs_per_machine = 2;
+  int max_jobs_per_machine = 6;
+  double target = 1.0;        ///< the planted optimal makespan
+  std::uint64_t seed = 1;
+};
+PlantedInstance planted(const PlantedParams& params);
+
+// ---------------------------------------------------------------------------
+// Figure-1 adversarial family (paper Figure 1): `pairs` large jobs of size
+// one half, each in its own bag, plus one "tight" bag with num_machines jobs
+// of size one half. Any schedule that stacks two large jobs on one machine is
+// forced to exceed OPT by 50% when placing the tight bag; OPT = scale.
+struct Figure1Params {
+  int num_machines = 8;
+  double scale = 1.0;  ///< OPT of the instance
+  std::uint64_t seed = 1;
+};
+PlantedInstance figure1(const Figure1Params& params);
+
+// ---------------------------------------------------------------------------
+// Bag-heavy family: few bags, each holding close to m jobs — the
+// bag-constraints are globally tight and dominate the structure.
+struct BagHeavyParams {
+  int num_machines = 10;
+  int num_bags = 6;
+  double fill = 0.9;          ///< each bag holds ceil(fill * m) jobs
+  double min_size = 0.05;
+  double max_size = 0.5;
+  std::uint64_t seed = 1;
+};
+model::Instance bag_heavy(const BagHeavyParams& params);
+
+// ---------------------------------------------------------------------------
+// Many-small-bags family: bags of 1..3 jobs — close to unconstrained P||Cmax.
+struct ManySmallBagsParams {
+  int num_jobs = 120;
+  int num_machines = 10;
+  double min_size = 0.05;
+  double max_size = 1.0;
+  std::uint64_t seed = 1;
+};
+model::Instance many_small_bags(const ManySmallBagsParams& params);
+
+// ---------------------------------------------------------------------------
+// Two-point family: sizes drawn from {small_size, large_size} — few distinct
+// sizes keep the EPTAS pattern space small, the regime where the MILP stage
+// is exercised hardest relative to its size.
+struct TwoPointParams {
+  int num_jobs = 80;
+  int num_machines = 8;
+  int num_bags = 16;
+  double small_size = 0.15;
+  double large_size = 0.55;
+  double large_fraction = 0.3;
+  std::uint64_t seed = 1;
+};
+model::Instance two_point(const TwoPointParams& params);
+
+// ---------------------------------------------------------------------------
+// Replica family (the paper's intro motivation): `tasks` tasks, each with
+// `replicas` copies that must run on distinct machines — all copies of a task
+// form one bag. Sizes per task are uniform in [min_size, max_size]; replicas
+// of one task share the size.
+struct ReplicaParams {
+  int tasks = 20;
+  int replicas = 3;
+  int num_machines = 8;
+  double min_size = 0.1;
+  double max_size = 0.6;
+  std::uint64_t seed = 1;
+};
+model::Instance replica(const ReplicaParams& params);
+
+// ---------------------------------------------------------------------------
+// Mixed family: explicit large/medium/small strata relative to `target`,
+// exercising every classification branch of the EPTAS.
+struct MixedParams {
+  int num_machines = 10;
+  int num_bags = 20;
+  int large_jobs = 12;    ///< sizes in [0.3, 0.7] * target
+  int medium_jobs = 20;   ///< sizes in [0.05, 0.15] * target
+  int small_jobs = 60;    ///< sizes in [0.005, 0.04] * target
+  double target = 1.0;
+  std::uint64_t seed = 1;
+};
+model::Instance mixed(const MixedParams& params);
+
+// ---------------------------------------------------------------------------
+// Named family dispatch used by sweeping benchmarks: family is one of
+// "uniform", "planted", "figure1", "bagheavy", "smallbags", "twopoint",
+// "replica", "mixed" with default parameters scaled to (n, m, seed).
+model::Instance by_name(const std::string& family, int num_jobs,
+                        int num_machines, std::uint64_t seed);
+std::vector<std::string> family_names();
+
+}  // namespace bagsched::gen

@@ -1,0 +1,366 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bagsched::lp {
+
+namespace {
+
+/// One row of the standardized problem: a * x {<=,>=,=} rhs with rhs >= 0.
+struct StdRow {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+  bool flipped = false;  ///< standardization multiplied the row by -1
+};
+
+/// Dense tableau simplex working on the standardized rows.
+class Tableau {
+ public:
+  Tableau(const std::vector<StdRow>& rows, int num_structural,
+          const SimplexOptions& options)
+      : num_rows_(static_cast<int>(rows.size())),
+        num_structural_(num_structural),
+        options_(options) {
+    // Column layout: [structural | slack/surplus | artificial], then RHS.
+    int extra = 0;
+    for (const StdRow& row : rows) {
+      if (row.sense != Sense::Equal) ++extra;
+    }
+    int artificials = 0;
+    for (const StdRow& row : rows) {
+      if (row.sense != Sense::LessEqual) ++artificials;
+    }
+    num_cols_ = num_structural_ + extra + artificials;
+    first_artificial_ = num_cols_ - artificials;
+
+    matrix_.assign(static_cast<std::size_t>(num_rows_) *
+                       (static_cast<std::size_t>(num_cols_) + 1),
+                   0.0);
+    basis_.assign(static_cast<std::size_t>(num_rows_), -1);
+
+    int next_extra = num_structural_;
+    int next_artificial = first_artificial_;
+    dual_column_.assign(static_cast<std::size_t>(num_rows_), -1);
+    dual_sign_.assign(static_cast<std::size_t>(num_rows_), 0.0);
+    for (int r = 0; r < num_rows_; ++r) {
+      const StdRow& row = rows[static_cast<std::size_t>(r)];
+      for (const auto& [var, coeff] : row.terms) at(r, var) = coeff;
+      rhs(r) = row.rhs;
+      const double flip = row.flipped ? -1.0 : 1.0;
+      switch (row.sense) {
+        case Sense::LessEqual:
+          at(r, next_extra) = 1.0;
+          // y_r = -reduced(slack): slack column is +e_r with zero cost.
+          dual_column_[static_cast<std::size_t>(r)] = next_extra;
+          dual_sign_[static_cast<std::size_t>(r)] = -flip;
+          basis_[static_cast<std::size_t>(r)] = next_extra++;
+          break;
+        case Sense::GreaterEqual:
+          at(r, next_extra) = -1.0;
+          // y_r = +reduced(surplus): surplus column is -e_r.
+          dual_column_[static_cast<std::size_t>(r)] = next_extra;
+          dual_sign_[static_cast<std::size_t>(r)] = flip;
+          ++next_extra;
+          at(r, next_artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_artificial++;
+          break;
+        case Sense::Equal:
+          at(r, next_artificial) = 1.0;
+          // y_r = -reduced(artificial): artificial is +e_r, cost 0 in ph.2.
+          dual_column_[static_cast<std::size_t>(r)] = next_artificial;
+          dual_sign_[static_cast<std::size_t>(r)] = -flip;
+          basis_[static_cast<std::size_t>(r)] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  /// Dual value of standardized row r (valid after an optimal phase 2).
+  double dual_of_row(int r) const {
+    const int col = dual_column_[static_cast<std::size_t>(r)];
+    if (col < 0) return 0.0;
+    return dual_sign_[static_cast<std::size_t>(r)] *
+           reduced_[static_cast<std::size_t>(col)];
+  }
+
+  /// Runs phase 1 (feasibility); returns false on infeasible/limit.
+  SolveStatus phase1(long long& iterations) {
+    // Cost: minimize sum of artificial variables.
+    cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int c = first_artificial_; c < num_cols_; ++c) {
+      cost_[static_cast<std::size_t>(c)] = 1.0;
+    }
+    build_reduced_costs();
+    const SolveStatus status = iterate(iterations);
+    if (status != SolveStatus::Optimal) return status;
+    if (objective_value() > 1e-6) return SolveStatus::Infeasible;
+    pivot_out_artificials();
+    return SolveStatus::Optimal;
+  }
+
+  /// Runs phase 2 with the given structural costs (minimization).
+  SolveStatus phase2(const std::vector<double>& structural_cost,
+                     long long& iterations) {
+    cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int c = 0; c < num_structural_; ++c) {
+      cost_[static_cast<std::size_t>(c)] =
+          structural_cost[static_cast<std::size_t>(c)];
+    }
+    build_reduced_costs();
+    return iterate(iterations);
+  }
+
+  /// Value of structural variable c in the current basic solution.
+  double structural_value(int c) const {
+    for (int r = 0; r < num_rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] == c) return rhs_const(r);
+    }
+    return 0.0;
+  }
+
+  double objective_value() const {
+    double value = 0.0;
+    for (int r = 0; r < num_rows_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      value += cost_[static_cast<std::size_t>(b)] * rhs_const(r);
+    }
+    return value;
+  }
+
+ private:
+  double& at(int r, int c) {
+    return matrix_[static_cast<std::size_t>(r) *
+                       (static_cast<std::size_t>(num_cols_) + 1) +
+                   static_cast<std::size_t>(c)];
+  }
+  double at_const(int r, int c) const {
+    return matrix_[static_cast<std::size_t>(r) *
+                       (static_cast<std::size_t>(num_cols_) + 1) +
+                   static_cast<std::size_t>(c)];
+  }
+  double& rhs(int r) { return at(r, num_cols_); }
+  double rhs_const(int r) const { return at_const(r, num_cols_); }
+
+  void build_reduced_costs() {
+    reduced_.assign(static_cast<std::size_t>(num_cols_) + 1, 0.0);
+    for (int c = 0; c <= num_cols_; ++c) {
+      double value = (c < num_cols_) ? cost_[static_cast<std::size_t>(c)]
+                                     : 0.0;
+      for (int r = 0; r < num_rows_; ++r) {
+        const int b = basis_[static_cast<std::size_t>(r)];
+        value -= cost_[static_cast<std::size_t>(b)] * at_const(r, c);
+      }
+      reduced_[static_cast<std::size_t>(c)] = value;
+    }
+  }
+
+  bool column_allowed(int c) const {
+    // Artificials may never re-enter the basis once phase 1 is done.
+    return !(phase1_done_ && c >= first_artificial_);
+  }
+
+  int choose_entering(bool bland) const {
+    const double tol = options_.tolerance;
+    if (bland) {
+      for (int c = 0; c < num_cols_; ++c) {
+        if (column_allowed(c) && reduced_[static_cast<std::size_t>(c)] < -tol)
+          return c;
+      }
+      return -1;
+    }
+    int best = -1;
+    double best_value = -tol;
+    for (int c = 0; c < num_cols_; ++c) {
+      if (!column_allowed(c)) continue;
+      const double value = reduced_[static_cast<std::size_t>(c)];
+      if (value < best_value) {
+        best_value = value;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  int choose_leaving(int entering) const {
+    const double tol = options_.tolerance;
+    int best_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < num_rows_; ++r) {
+      const double pivot = at_const(r, entering);
+      if (pivot <= tol) continue;
+      const double ratio = rhs_const(r) / pivot;
+      // Bland-compatible tie-break: smaller basis index wins.
+      if (ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol && best_row >= 0 &&
+           basis_[static_cast<std::size_t>(r)] <
+               basis_[static_cast<std::size_t>(best_row)])) {
+        best_ratio = ratio;
+        best_row = r;
+      }
+    }
+    return best_row;
+  }
+
+  void pivot(int row, int col) {
+    const double pivot_value = at(row, col);
+    for (int c = 0; c <= num_cols_; ++c) at(row, c) /= pivot_value;
+    for (int r = 0; r < num_rows_; ++r) {
+      if (r == row) continue;
+      const double factor = at(r, col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c <= num_cols_; ++c) {
+        at(r, c) -= factor * at(row, c);
+      }
+    }
+    const double reduced_factor = reduced_[static_cast<std::size_t>(col)];
+    if (reduced_factor != 0.0) {
+      for (int c = 0; c <= num_cols_; ++c) {
+        reduced_[static_cast<std::size_t>(c)] -=
+            reduced_factor * at(row, c);
+      }
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  SolveStatus iterate(long long& iterations) {
+    // Switch to Bland's rule after a burn-in to break potential cycles.
+    const long long bland_after =
+        64LL * (num_rows_ + num_cols_) + 1024;
+    long long local = 0;
+    for (;;) {
+      if (iterations >= options_.max_iterations) {
+        return SolveStatus::IterationLimit;
+      }
+      const bool bland = local > bland_after;
+      const int entering = choose_entering(bland);
+      if (entering < 0) return SolveStatus::Optimal;
+      const int leaving = choose_leaving(entering);
+      if (leaving < 0) return SolveStatus::Unbounded;
+      pivot(leaving, entering);
+      ++iterations;
+      ++local;
+    }
+  }
+
+  /// After phase 1, tries to drive basic artificials (at value 0) out of the
+  /// basis; rows where that is impossible are redundant and harmless.
+  void pivot_out_artificials() {
+    for (int r = 0; r < num_rows_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      if (b < first_artificial_) continue;
+      for (int c = 0; c < first_artificial_; ++c) {
+        if (std::abs(at_const(r, c)) > options_.tolerance) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+    phase1_done_ = true;
+  }
+
+  int num_rows_;
+  int num_structural_;
+  int num_cols_ = 0;
+  int first_artificial_ = 0;
+  bool phase1_done_ = false;
+  SimplexOptions options_;
+  std::vector<double> matrix_;   ///< num_rows x (num_cols + 1), row-major
+  std::vector<double> reduced_;  ///< reduced costs + objective cell
+  std::vector<double> cost_;
+  std::vector<int> basis_;
+  std::vector<int> dual_column_;   ///< per row: column whose rc encodes y_r
+  std::vector<double> dual_sign_;  ///< per row: sign applied to that rc
+};
+
+}  // namespace
+
+LpResult solve(const Model& model, const SimplexOptions& options) {
+  const int n = model.num_variables();
+
+  // Standardize: shift out lower bounds, turn finite upper bounds into rows,
+  // normalize all RHS to be non-negative.
+  std::vector<StdRow> rows;
+  rows.reserve(static_cast<std::size_t>(model.num_constraints()) +
+               static_cast<std::size_t>(n));
+  for (const Constraint& constraint : model.constraints()) {
+    StdRow row;
+    row.sense = constraint.sense;
+    double rhs = constraint.rhs;
+    for (const auto& [var, coeff] : constraint.terms) {
+      rhs -= coeff * model.variable(var).lower;
+      row.terms.emplace_back(var, coeff);
+    }
+    if (rhs < 0.0) {
+      rhs = -rhs;
+      for (auto& [var, coeff] : row.terms) coeff = -coeff;
+      row.flipped = true;
+      if (row.sense == Sense::LessEqual) {
+        row.sense = Sense::GreaterEqual;
+      } else if (row.sense == Sense::GreaterEqual) {
+        row.sense = Sense::LessEqual;
+      }
+    }
+    row.rhs = rhs;
+    rows.push_back(std::move(row));
+  }
+  for (int v = 0; v < n; ++v) {
+    const Variable& var = model.variable(v);
+    if (std::isfinite(var.upper)) {
+      StdRow row;
+      row.terms.emplace_back(v, 1.0);
+      row.sense = Sense::LessEqual;
+      row.rhs = var.upper - var.lower;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  Tableau tableau(rows, n, options);
+
+  LpResult result;
+  result.x.assign(static_cast<std::size_t>(n), 0.0);
+
+  SolveStatus status = tableau.phase1(result.iterations);
+  if (status != SolveStatus::Optimal) {
+    result.status = status;
+    return result;
+  }
+
+  const bool maximize = model.objective() == Objective::Maximize;
+  std::vector<double> cost(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    const double c = model.variable(v).objective;
+    cost[static_cast<std::size_t>(v)] = maximize ? -c : c;
+  }
+  status = tableau.phase2(cost, result.iterations);
+  result.status = status;
+  if (status != SolveStatus::Optimal) return result;
+
+  for (int v = 0; v < n; ++v) {
+    result.x[static_cast<std::size_t>(v)] =
+        tableau.structural_value(v) + model.variable(v).lower;
+  }
+  result.objective = model.objective_value(result.x);
+  // Duals for the model's own constraints (bound rows are appended after
+  // them in `rows` and are not reported).
+  result.duals.resize(static_cast<std::size_t>(model.num_constraints()));
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    result.duals[static_cast<std::size_t>(r)] = tableau.dual_of_row(r);
+  }
+  return result;
+}
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+}  // namespace bagsched::lp

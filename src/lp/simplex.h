@@ -1,0 +1,45 @@
+// Dense two-phase primal simplex.
+//
+// This is the exact-LP substrate standing in for the theoretical
+// Lenstra/Kannan oracle of the paper (see DESIGN.md §3). Scope decisions:
+//  * dense tableau — our MILP relaxations are small (hundreds of rows and
+//    columns), where a dense tableau beats a sparse revised implementation
+//    in both simplicity and constant factors;
+//  * Dantzig pricing with an automatic switch to Bland's rule after a burn-in
+//    proportional to the problem size, guaranteeing termination;
+//  * variable lower bounds handled by shifting, upper bounds by explicit
+//    rows (branch-and-bound only ever adds bounds, so this keeps the node
+//    LPs trivially re-buildable).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace bagsched::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< values for all model variables
+  /// Dual value per model constraint (sign convention: Lagrangian
+  /// y with  reduced_cost(col) = c_col - y . a_col  for a minimization
+  /// problem). Only filled on Optimal. For Maximize models the duals refer
+  /// to the internally minimized (-objective) problem.
+  std::vector<double> duals;
+  long long iterations = 0;
+};
+
+struct SimplexOptions {
+  long long max_iterations = 200000;
+  double tolerance = 1e-8;
+};
+
+/// Solves the model; result.x has one entry per model variable.
+LpResult solve(const Model& model, const SimplexOptions& options = {});
+
+const char* to_string(SolveStatus status);
+
+}  // namespace bagsched::lp

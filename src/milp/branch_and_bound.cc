@@ -1,0 +1,197 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace bagsched::milp {
+
+namespace {
+
+struct Node {
+  // Variable-bound overrides relative to the root model.
+  std::vector<std::pair<int, double>> lower_overrides;
+  std::vector<std::pair<int, double>> upper_overrides;
+  double bound = -std::numeric_limits<double>::infinity();
+
+  // Best-bound search: smaller LP bound first (minimization).
+  bool operator<(const Node& other) const { return bound > other.bound; }
+};
+
+void apply_overrides(lp::Model& model, const Node& node) {
+  for (const auto& [var, lb] : node.lower_overrides) {
+    model.mutable_variable(var).lower =
+        std::max(model.variable(var).lower, lb);
+  }
+  for (const auto& [var, ub] : node.upper_overrides) {
+    model.mutable_variable(var).upper =
+        std::min(model.variable(var).upper, ub);
+  }
+}
+
+/// Most-fractional branching variable; -1 when integral.
+int pick_branch_variable(const std::vector<double>& x,
+                         const std::vector<int>& integer_variables,
+                         double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (int var : integer_variables) {
+    const double value = x[static_cast<std::size_t>(var)];
+    const double frac = value - std::floor(value);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = var;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpResult solve(const lp::Model& root_model,
+                 const std::vector<int>& integer_variables,
+                 const MilpOptions& options) {
+  util::Stopwatch timer;
+  MilpResult result;
+
+  const bool maximize = root_model.objective() == lp::Objective::Maximize;
+  // Internally minimize: flip the incumbent comparison via sign.
+  const double sign = maximize ? -1.0 : 1.0;
+
+  double incumbent_value = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent;
+
+  std::priority_queue<Node> open;
+  open.push(Node{});
+
+  double best_open_bound = -std::numeric_limits<double>::infinity();
+  bool truncated = false;
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes ||
+        timer.seconds() > options.time_limit_seconds) {
+      truncated = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    ++result.nodes_explored;
+
+    // Bound-based pruning against the incumbent.
+    if (node.bound >= incumbent_value - options.relative_gap *
+                                            std::abs(incumbent_value) &&
+        !incumbent.empty() && result.nodes_explored > 1) {
+      continue;
+    }
+
+    lp::Model model = root_model;  // root copy + bound overrides
+    apply_overrides(model, node);
+
+    // Quick reject: crossed bounds mean the branch is empty.
+    bool crossed = false;
+    for (int v = 0; v < model.num_variables(); ++v) {
+      if (model.variable(v).lower >
+          model.variable(v).upper + options.integrality_tolerance) {
+        crossed = true;
+        break;
+      }
+    }
+    if (crossed) continue;
+
+    lp::Model minimized = model;
+    if (maximize) {
+      minimized.set_objective(lp::Objective::Minimize);
+      for (int v = 0; v < minimized.num_variables(); ++v) {
+        minimized.mutable_variable(v).objective =
+            -minimized.variable(v).objective;
+      }
+    }
+    const lp::LpResult lp_result = lp::solve(minimized, options.lp_options);
+    if (lp_result.status == lp::SolveStatus::Infeasible) continue;
+    if (lp_result.status == lp::SolveStatus::Unbounded) {
+      // Integral restriction of an unbounded relaxation: report and stop.
+      result.status = MilpStatus::LimitReached;
+      return result;
+    }
+    if (lp_result.status == lp::SolveStatus::IterationLimit) {
+      truncated = true;  // dropped a node we could not bound
+      continue;
+    }
+
+    const double node_bound = lp_result.objective * (maximize ? -1.0 : 1.0) *
+                              sign;  // value in minimization orientation
+    best_open_bound = std::max(best_open_bound, node.bound);
+    if (!incumbent.empty() &&
+        node_bound >= incumbent_value -
+                          options.relative_gap * std::abs(incumbent_value)) {
+      continue;  // cannot improve
+    }
+
+    const int branch_var = pick_branch_variable(
+        lp_result.x, integer_variables, options.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integral solution.
+      if (node_bound < incumbent_value) {
+        incumbent_value = node_bound;
+        incumbent = lp_result.x;
+        // Snap integer variables onto exact integers.
+        for (int var : integer_variables) {
+          incumbent[static_cast<std::size_t>(var)] =
+              std::round(incumbent[static_cast<std::size_t>(var)]);
+        }
+      }
+      continue;
+    }
+
+    const double value = lp_result.x[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.bound = node_bound;
+    down.upper_overrides.emplace_back(branch_var, std::floor(value));
+    Node up = node;
+    up.bound = node_bound;
+    up.lower_overrides.emplace_back(branch_var, std::ceil(value));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent.empty()) {
+    // Exhausting the tree without truncation proves infeasibility.
+    result.status =
+        truncated ? MilpStatus::LimitReached : MilpStatus::Infeasible;
+    return result;
+  }
+
+  result.x = std::move(incumbent);
+  result.objective = sign * incumbent_value;
+  result.best_bound = sign * (open.empty()
+                                  ? incumbent_value
+                                  : std::min(incumbent_value,
+                                             open.top().bound));
+  result.status =
+      open.empty() ? MilpStatus::Optimal : MilpStatus::Feasible;
+  // Tight gap also counts as proven optimal.
+  if (result.status == MilpStatus::Feasible) {
+    const double gap =
+        std::abs(incumbent_value - open.top().bound) /
+        std::max(1.0, std::abs(incumbent_value));
+    if (gap <= options.relative_gap) result.status = MilpStatus::Optimal;
+  }
+  return result;
+}
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::Optimal: return "optimal";
+    case MilpStatus::Feasible: return "feasible";
+    case MilpStatus::Infeasible: return "infeasible";
+    case MilpStatus::LimitReached: return "limit-reached";
+  }
+  return "?";
+}
+
+}  // namespace bagsched::milp

@@ -1,0 +1,51 @@
+// Branch-and-bound MILP solver on top of lp::solve.
+//
+// Together with the simplex this replaces the paper's theoretical
+// Kannan/Lenstra fixed-dimension MILP oracle: the EPTAS only requires *some*
+// exact solver for its pattern MILP, and best-bound B&B is exact. Branching
+// tightens variable bounds only, so every node LP is the root model with
+// adjusted bounds — cheap to rebuild and re-solve at our sizes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace bagsched::milp {
+
+enum class MilpStatus {
+  Optimal,        ///< proven optimal integral solution
+  Feasible,       ///< integral incumbent found, search truncated by limits
+  Infeasible,     ///< LP relaxation (or all branches) infeasible
+  LimitReached,   ///< limits hit before any integral solution was found
+};
+
+struct MilpOptions {
+  long long max_nodes = 20000;
+  double time_limit_seconds = 60.0;
+  double integrality_tolerance = 1e-6;
+  /// Relative gap at which the search stops with status Optimal.
+  double relative_gap = 1e-9;
+  lp::SimplexOptions lp_options;
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::LimitReached;
+  double objective = 0.0;
+  std::vector<double> x;
+  long long nodes_explored = 0;
+  double best_bound = 0.0;  ///< proven bound on the optimum (minimization)
+};
+
+/// Solves model with the given variables required integral.
+/// The model's objective sense is respected; internally everything is
+/// minimized.
+MilpResult solve(const lp::Model& model,
+                 const std::vector<int>& integer_variables,
+                 const MilpOptions& options = {});
+
+const char* to_string(MilpStatus status);
+
+}  // namespace bagsched::milp

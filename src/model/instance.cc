@@ -1,0 +1,92 @@
+#include "model/instance.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace bagsched::model {
+
+Instance::Instance(std::vector<Job> jobs, int num_machines, int num_bags)
+    : jobs_(std::move(jobs)), num_machines_(num_machines),
+      num_bags_(num_bags) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+  rebuild_index();
+  validate();
+}
+
+Instance Instance::from_vectors(const std::vector<double>& sizes,
+                                const std::vector<BagId>& bags,
+                                int num_machines) {
+  if (sizes.size() != bags.size()) {
+    throw std::invalid_argument("from_vectors: sizes/bags length mismatch");
+  }
+  std::vector<Job> jobs(sizes.size());
+  BagId max_bag = -1;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    jobs[i].size = sizes[i];
+    jobs[i].bag = bags[i];
+    max_bag = std::max(max_bag, bags[i]);
+  }
+  return Instance(std::move(jobs), num_machines, max_bag + 1);
+}
+
+Instance Instance::without_bags(const std::vector<double>& sizes,
+                                int num_machines) {
+  std::vector<BagId> bags(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    bags[i] = static_cast<BagId>(i);
+  }
+  return from_vectors(sizes, bags, num_machines);
+}
+
+int Instance::max_bag_size() const {
+  int result = 0;
+  for (const auto& members : bag_members_) {
+    result = std::max(result, static_cast<int>(members.size()));
+  }
+  return result;
+}
+
+void Instance::validate() const {
+  if (num_machines_ <= 0) {
+    throw std::invalid_argument("Instance: num_machines must be positive");
+  }
+  if (num_bags_ < 0) {
+    throw std::invalid_argument("Instance: num_bags must be non-negative");
+  }
+  for (const Job& job : jobs_) {
+    if (job.size <= 0) {
+      throw std::invalid_argument("Instance: job sizes must be positive");
+    }
+    if (job.bag < 0 || job.bag >= num_bags_) {
+      throw std::invalid_argument("Instance: bag id out of range");
+    }
+  }
+}
+
+void Instance::rebuild_index() {
+  bag_members_.assign(static_cast<std::size_t>(std::max(num_bags_, 0)), {});
+  total_area_ = 0.0;
+  max_size_ = 0.0;
+  for (const Job& job : jobs_) {
+    if (job.bag >= 0 && job.bag < num_bags_) {
+      bag_members_[static_cast<std::size_t>(job.bag)].push_back(job.id);
+    }
+    total_area_ += job.size;
+    max_size_ = std::max(max_size_, job.size);
+  }
+}
+
+std::string describe(const Instance& instance) {
+  std::ostringstream os;
+  os << "n=" << instance.num_jobs() << " m=" << instance.num_machines()
+     << " bags=" << instance.num_bags()
+     << " area=" << instance.total_area()
+     << " pmax=" << instance.max_size()
+     << " maxbag=" << instance.max_bag_size();
+  return os.str();
+}
+
+}  // namespace bagsched::model

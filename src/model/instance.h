@@ -1,0 +1,69 @@
+// Problem instance for machine scheduling with bag-constraints
+// (P | bags | C_max): jobs with sizes, a partition of jobs into bags, and a
+// number of identical machines. Feasibility requires every bag to have at
+// most one job per machine, hence |B_l| <= m for every bag l.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/job.h"
+
+namespace bagsched::model {
+
+class Instance {
+ public:
+  Instance() = default;
+  /// Builds an instance; jobs are re-numbered 0..n-1 in the given order.
+  Instance(std::vector<Job> jobs, int num_machines, int num_bags);
+
+  /// Convenience factory: job j has size sizes[j] and bag bags[j].
+  static Instance from_vectors(const std::vector<double>& sizes,
+                               const std::vector<BagId>& bags,
+                               int num_machines);
+
+  /// Every job in its own bag — degenerates to classical P||Cmax.
+  static Instance without_bags(const std::vector<double>& sizes,
+                               int num_machines);
+
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  int num_machines() const { return num_machines_; }
+  int num_bags() const { return num_bags_; }
+
+  const Job& job(JobId id) const { return jobs_[static_cast<size_t>(id)]; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Jobs of bag l (indices into jobs()).
+  const std::vector<JobId>& bag(BagId l) const {
+    return bag_members_[static_cast<size_t>(l)];
+  }
+  int bag_size(BagId l) const {
+    return static_cast<int>(bag_members_[static_cast<size_t>(l)].size());
+  }
+  int max_bag_size() const;
+
+  double total_area() const { return total_area_; }
+  double max_size() const { return max_size_; }
+
+  /// True iff some feasible schedule exists: max bag size <= m.
+  bool is_feasible() const { return max_bag_size() <= num_machines_; }
+
+  /// Throws std::invalid_argument when internal invariants are violated
+  /// (negative sizes, bag ids out of range, ...). Used by I/O and tests.
+  void validate() const;
+
+ private:
+  void rebuild_index();
+
+  std::vector<Job> jobs_;
+  std::vector<std::vector<JobId>> bag_members_;
+  int num_machines_ = 0;
+  int num_bags_ = 0;
+  double total_area_ = 0.0;
+  double max_size_ = 0.0;
+};
+
+/// Human-readable one-line summary (used in logs and example output).
+std::string describe(const Instance& instance);
+
+}  // namespace bagsched::model

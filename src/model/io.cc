@@ -1,0 +1,118 @@
+#include "model/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bagsched::model {
+
+namespace {
+
+/// Reads the next non-comment, non-empty line; throws at EOF.
+std::string next_line(std::istream& is, const char* what) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    return line;
+  }
+  throw std::runtime_error(std::string("instance I/O: unexpected EOF while "
+                                       "reading ") + what);
+}
+
+template <typename T>
+T parse_keyword(std::istream& is, const std::string& keyword) {
+  std::istringstream line(next_line(is, keyword.c_str()));
+  std::string word;
+  T value{};
+  if (!(line >> word >> value) || word != keyword) {
+    throw std::runtime_error("instance I/O: expected '" + keyword + " <n>'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "bagsched 1\n";
+  os << "machines " << instance.num_machines() << "\n";
+  os << "bags " << instance.num_bags() << "\n";
+  os << "jobs " << instance.num_jobs() << "\n";
+  os << std::setprecision(17);
+  for (const Job& job : instance.jobs()) {
+    os << job.size << " " << job.bag << "\n";
+  }
+}
+
+Instance read_instance(std::istream& is) {
+  {
+    std::istringstream header(next_line(is, "header"));
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "bagsched" || version != 1) {
+      throw std::runtime_error("instance I/O: bad header");
+    }
+  }
+  const int machines = parse_keyword<int>(is, "machines");
+  const int bags = parse_keyword<int>(is, "bags");
+  const int jobs = parse_keyword<int>(is, "jobs");
+  std::vector<Job> job_list(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    std::istringstream line(next_line(is, "job"));
+    Job& job = job_list[static_cast<std::size_t>(j)];
+    if (!(line >> job.size >> job.bag)) {
+      throw std::runtime_error("instance I/O: bad job line");
+    }
+  }
+  return Instance(std::move(job_list), machines, bags);
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  write_instance(file, instance);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  return read_instance(file);
+}
+
+void write_schedule(std::ostream& os, const Schedule& schedule) {
+  os << "bagsched-schedule 1\n";
+  os << "machines " << schedule.num_machines() << "\n";
+  os << "jobs " << schedule.num_jobs() << "\n";
+  for (JobId j = 0; j < schedule.num_jobs(); ++j) {
+    os << schedule.machine_of(j) << "\n";
+  }
+}
+
+Schedule read_schedule(std::istream& is) {
+  {
+    std::istringstream header(next_line(is, "header"));
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "bagsched-schedule" ||
+        version != 1) {
+      throw std::runtime_error("schedule I/O: bad header");
+    }
+  }
+  const int machines = parse_keyword<int>(is, "machines");
+  const int jobs = parse_keyword<int>(is, "jobs");
+  Schedule schedule(jobs, machines);
+  for (JobId j = 0; j < jobs; ++j) {
+    std::istringstream line(next_line(is, "assignment"));
+    int machine = kUnassigned;
+    if (!(line >> machine)) {
+      throw std::runtime_error("schedule I/O: bad assignment line");
+    }
+    schedule.assign(j, machine);
+  }
+  return schedule;
+}
+
+}  // namespace bagsched::model

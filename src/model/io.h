@@ -1,0 +1,34 @@
+// Plain-text instance and schedule serialization.
+//
+// Instance format (line oriented, '#' starts a comment):
+//   bagsched 1            # magic + version
+//   machines <m>
+//   bags <b>
+//   jobs <n>
+//   <size> <bag>          # one line per job, in job-id order
+//
+// Schedule format:
+//   bagsched-schedule 1
+//   machines <m>
+//   jobs <n>
+//   <machine>             # one line per job, -1 for unassigned
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::model {
+
+void write_instance(std::ostream& os, const Instance& instance);
+Instance read_instance(std::istream& is);
+
+void save_instance(const std::string& path, const Instance& instance);
+Instance load_instance(const std::string& path);
+
+void write_schedule(std::ostream& os, const Schedule& schedule);
+Schedule read_schedule(std::istream& is);
+
+}  // namespace bagsched::model

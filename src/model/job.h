@@ -1,0 +1,20 @@
+// The basic job record shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace bagsched::model {
+
+using JobId = std::int32_t;
+using BagId = std::int32_t;
+using MachineId = std::int32_t;
+
+constexpr MachineId kUnassigned = -1;
+
+struct Job {
+  JobId id = 0;          ///< Position in Instance::jobs (stable identifier).
+  double size = 0.0;     ///< Processing time p_j (> 0 for real jobs).
+  BagId bag = 0;         ///< Index of the bag containing this job.
+};
+
+}  // namespace bagsched::model

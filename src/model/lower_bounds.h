@@ -1,0 +1,28 @@
+// Lower bounds on the optimal makespan of a bag-constrained instance.
+//
+// These drive the EPTAS binary search and let benchmarks report honest
+// approximation ratios (ratio against a bound is an upper bound on the true
+// ratio) when the exact solver is too slow.
+#pragma once
+
+#include "model/instance.h"
+
+namespace bagsched::model {
+
+/// Average-load bound: total area divided by m.
+double area_lower_bound(const Instance& instance);
+
+/// Largest single job.
+double pmax_lower_bound(const Instance& instance);
+
+/// LP-style bound combining area, pmax and "two jobs must share a machine
+/// when n > m" (the classical p_(1) + p_(m+1) argument, adapted: if more
+/// than m jobs exist, some machine gets two, so OPT >= p_m + p_{m+1} over
+/// the sorted sizes... only valid without bags splitting them; with bags the
+/// pairing argument still holds because it ignores which jobs pair up).
+double pairing_lower_bound(const Instance& instance);
+
+/// Best of all bounds above.
+double combined_lower_bound(const Instance& instance);
+
+}  // namespace bagsched::model

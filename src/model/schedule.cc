@@ -1,0 +1,111 @@
+#include "model/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace bagsched::model {
+
+Schedule::Schedule(int num_jobs, int num_machines)
+    : machine_of_(static_cast<std::size_t>(num_jobs), kUnassigned),
+      num_machines_(num_machines) {}
+
+void Schedule::swap_jobs(JobId a, JobId b) {
+  std::swap(machine_of_[static_cast<std::size_t>(a)],
+            machine_of_[static_cast<std::size_t>(b)]);
+}
+
+std::vector<double> Schedule::loads(const Instance& instance) const {
+  std::vector<double> result(static_cast<std::size_t>(num_machines_), 0.0);
+  for (const Job& job : instance.jobs()) {
+    const MachineId machine = machine_of(job.id);
+    if (machine != kUnassigned) {
+      result[static_cast<std::size_t>(machine)] += job.size;
+    }
+  }
+  return result;
+}
+
+double Schedule::load(const Instance& instance, MachineId machine) const {
+  double result = 0.0;
+  for (const Job& job : instance.jobs()) {
+    if (machine_of(job.id) == machine) result += job.size;
+  }
+  return result;
+}
+
+double Schedule::makespan(const Instance& instance) const {
+  double best = 0.0;
+  for (double l : loads(instance)) best = std::max(best, l);
+  return best;
+}
+
+std::vector<std::vector<JobId>> Schedule::machine_jobs() const {
+  std::vector<std::vector<JobId>> result(
+      static_cast<std::size_t>(num_machines_));
+  for (std::size_t j = 0; j < machine_of_.size(); ++j) {
+    const MachineId machine = machine_of_[j];
+    if (machine != kUnassigned) {
+      result[static_cast<std::size_t>(machine)].push_back(
+          static_cast<JobId>(j));
+    }
+  }
+  return result;
+}
+
+ValidationResult validate(const Instance& instance,
+                          const Schedule& schedule) {
+  ValidationResult result;
+  result.complete = true;
+  result.bag_feasible = true;
+
+  if (schedule.num_jobs() != instance.num_jobs()) {
+    result.complete = false;
+    result.unassigned_jobs = instance.num_jobs();
+    result.message = "schedule shape does not match instance";
+    return result;
+  }
+
+  for (const Job& job : instance.jobs()) {
+    const MachineId machine = schedule.machine_of(job.id);
+    if (machine == kUnassigned || machine < 0 ||
+        machine >= instance.num_machines()) {
+      result.complete = false;
+      ++result.unassigned_jobs;
+      if (result.message.empty()) {
+        std::ostringstream os;
+        os << "job " << job.id << " unassigned or machine out of range";
+        result.message = os.str();
+      }
+    }
+  }
+
+  // Bag constraint: at most one job of each bag per machine.
+  std::set<std::pair<MachineId, BagId>> seen;
+  for (const Job& job : instance.jobs()) {
+    const MachineId machine = schedule.machine_of(job.id);
+    if (machine == kUnassigned) continue;
+    if (!seen.insert({machine, job.bag}).second) {
+      result.bag_feasible = false;
+      ++result.bag_conflicts;
+      if (result.message.empty()) {
+        std::ostringstream os;
+        os << "machine " << machine << " holds two jobs of bag " << job.bag;
+        result.message = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+void require_valid(const Instance& instance, const Schedule& schedule,
+                   const std::string& context) {
+  const ValidationResult result = validate(instance, schedule);
+  if (!result.ok()) {
+    throw std::logic_error(context + ": invalid schedule (" + result.message +
+                           ")");
+  }
+}
+
+}  // namespace bagsched::model

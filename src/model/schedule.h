@@ -1,0 +1,70 @@
+// A schedule: assignment of every job to a machine, plus feasibility
+// validation against the bag-constraints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/job.h"
+
+namespace bagsched::model {
+
+class Schedule {
+ public:
+  Schedule() = default;
+  /// Empty schedule (all jobs unassigned) for the given instance shape.
+  Schedule(int num_jobs, int num_machines);
+
+  int num_jobs() const { return static_cast<int>(machine_of_.size()); }
+  int num_machines() const { return num_machines_; }
+
+  MachineId machine_of(JobId job) const {
+    return machine_of_[static_cast<std::size_t>(job)];
+  }
+  bool is_assigned(JobId job) const {
+    return machine_of(job) != kUnassigned;
+  }
+
+  /// Assigns (or re-assigns) a job; pass kUnassigned to clear.
+  void assign(JobId job, MachineId machine) {
+    machine_of_[static_cast<std::size_t>(job)] = machine;
+  }
+
+  /// Swaps the machines of two jobs (both must be assigned).
+  void swap_jobs(JobId a, JobId b);
+
+  /// Load (sum of sizes of assigned jobs) per machine.
+  std::vector<double> loads(const Instance& instance) const;
+  double load(const Instance& instance, MachineId machine) const;
+  double makespan(const Instance& instance) const;
+
+  /// Jobs on each machine, as indices into instance.jobs().
+  std::vector<std::vector<JobId>> machine_jobs() const;
+
+  const std::vector<MachineId>& assignment() const { return machine_of_; }
+
+ private:
+  std::vector<MachineId> machine_of_;
+  int num_machines_ = 0;
+};
+
+/// Result of validating a schedule against an instance.
+struct ValidationResult {
+  bool complete = false;        ///< every job assigned to a valid machine
+  bool bag_feasible = false;    ///< no machine holds two jobs of one bag
+  int unassigned_jobs = 0;
+  int bag_conflicts = 0;        ///< count of (machine, bag) violations
+  std::string message;          ///< first violation, for diagnostics
+
+  bool ok() const { return complete && bag_feasible; }
+};
+
+/// Checks completeness and the bag-constraints.
+ValidationResult validate(const Instance& instance, const Schedule& schedule);
+
+/// Convenience: validates and throws std::logic_error when invalid.
+void require_valid(const Instance& instance, const Schedule& schedule,
+                   const std::string& context);
+
+}  // namespace bagsched::model

@@ -1,0 +1,99 @@
+#include "sched/bag_lpt.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+std::vector<std::vector<int>> bag_lpt_assign(
+    const Instance& instance, const std::vector<LptBag>& bags,
+    std::vector<double> initial_loads) {
+  const std::size_t num_machines = initial_loads.size();
+  std::vector<std::vector<int>> result(bags.size());
+
+  for (std::size_t b = 0; b < bags.size(); ++b) {
+    const LptBag& bag = bags[b];
+    if (bag.jobs.size() > num_machines) {
+      throw std::invalid_argument("bag_lpt_assign: bag larger than machines");
+    }
+    // Jobs descending by size (dummy padding is implicit: machines beyond
+    // |bag| simply receive nothing, which equals a height-0 dummy job).
+    std::vector<JobId> jobs = bag.jobs;
+    std::sort(jobs.begin(), jobs.end(), [&](JobId x, JobId y) {
+      if (instance.job(x).size != instance.job(y).size) {
+        return instance.job(x).size > instance.job(y).size;
+      }
+      return x < y;
+    });
+    // Machines ascending by load.
+    std::vector<int> machine_order(num_machines);
+    std::iota(machine_order.begin(), machine_order.end(), 0);
+    std::sort(machine_order.begin(), machine_order.end(), [&](int x, int y) {
+      if (initial_loads[static_cast<std::size_t>(x)] !=
+          initial_loads[static_cast<std::size_t>(y)]) {
+        return initial_loads[static_cast<std::size_t>(x)] <
+               initial_loads[static_cast<std::size_t>(y)];
+      }
+      return x < y;
+    });
+
+    result[b].resize(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const int machine = machine_order[j];
+      result[b][j] = machine;
+      initial_loads[static_cast<std::size_t>(machine)] +=
+          instance.job(jobs[j]).size;
+    }
+    // Report assignments in the caller's job order.
+    std::vector<int> reordered(bag.jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto pos = std::find(bag.jobs.begin(), bag.jobs.end(), jobs[j]) -
+                       bag.jobs.begin();
+      reordered[static_cast<std::size_t>(pos)] = result[b][j];
+    }
+    result[b] = std::move(reordered);
+  }
+  return result;
+}
+
+Schedule bag_lpt(const Instance& instance) {
+  if (!instance.is_feasible()) {
+    throw std::invalid_argument("bag_lpt: a bag exceeds the machine count");
+  }
+  std::vector<LptBag> bags;
+  bags.reserve(static_cast<std::size_t>(instance.num_bags()));
+  for (model::BagId l = 0; l < instance.num_bags(); ++l) {
+    if (!instance.bag(l).empty()) bags.push_back(LptBag{instance.bag(l)});
+  }
+  // Process heavier bags first: the paper assumes equal starting heights,
+  // and front-loading large bags keeps groups balanced in practice.
+  std::sort(bags.begin(), bags.end(), [&](const LptBag& a, const LptBag& b) {
+    auto area = [&](const LptBag& bag) {
+      double total = 0;
+      for (JobId j : bag.jobs) total += instance.job(j).size;
+      return total;
+    };
+    return area(a) > area(b);
+  });
+
+  std::vector<double> loads(static_cast<std::size_t>(instance.num_machines()),
+                            0.0);
+  const auto assignment = bag_lpt_assign(instance, bags, loads);
+
+  Schedule schedule(instance.num_jobs(), instance.num_machines());
+  for (std::size_t b = 0; b < bags.size(); ++b) {
+    for (std::size_t j = 0; j < bags[b].jobs.size(); ++j) {
+      schedule.assign(bags[b].jobs[j], assignment[b][j]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace bagsched::sched

@@ -1,0 +1,36 @@
+// bag-LPT (paper §4) and group-bag-LPT (paper §4.1).
+//
+// bag-LPT: given bags whose jobs can all go on any of m' machines, process
+// bags one after another; within a bag, sort jobs descending and machines
+// ascending by load, then give the j-th job to the j-th machine. Lemma 8:
+// when all machines start at equal height, any two machines end within
+// p_max of each other.
+#pragma once
+
+#include <vector>
+
+#include "model/instance.h"
+#include "model/job.h"
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+/// A bag for bag-LPT: job ids with their sizes (subset of an instance).
+struct LptBag {
+  std::vector<model::JobId> jobs;
+};
+
+/// Runs bag-LPT over `machines` (ids into some schedule), starting from the
+/// given initial loads (parallel to `machines`). Jobs of each bag land on
+/// pairwise-distinct machines; bags larger than machines.size() throw.
+/// Returns, for each bag, the machine (index into `machines`) per job, in
+/// the order of LptBag::jobs.
+std::vector<std::vector<int>> bag_lpt_assign(
+    const model::Instance& instance, const std::vector<LptBag>& bags,
+    std::vector<double> initial_loads);
+
+/// Standalone heuristic: runs bag-LPT on the full instance (all m machines,
+/// all bags) — valid because every bag satisfies |B_l| <= m.
+model::Schedule bag_lpt(const model::Instance& instance);
+
+}  // namespace bagsched::sched

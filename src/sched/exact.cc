@@ -1,0 +1,159 @@
+#include "sched/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/lower_bounds.h"
+#include "sched/greedy_bags.h"
+#include "sched/local_search.h"
+#include "util/stopwatch.h"
+
+namespace bagsched::sched {
+
+using model::BagId;
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const Instance& instance, const ExactOptions& options)
+      : instance_(instance), options_(options),
+        loads_(static_cast<std::size_t>(instance.num_machines()), 0.0),
+        occupancy_(static_cast<std::size_t>(instance.num_machines()),
+                   std::vector<bool>(
+                       static_cast<std::size_t>(
+                           std::max(instance.num_bags(), 1)),
+                       false)),
+        assignment_(static_cast<std::size_t>(instance.num_jobs()),
+                    model::kUnassigned) {
+    // LPT order maximizes pruning power near the root.
+    order_.resize(static_cast<std::size_t>(instance.num_jobs()));
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      order_[static_cast<std::size_t>(j)] = j;
+    }
+    std::sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      if (instance.job(a).size != instance.job(b).size) {
+        return instance.job(a).size > instance.job(b).size;
+      }
+      return a < b;
+    });
+    // Suffix areas for the area lower bound at every depth.
+    suffix_area_.assign(order_.size() + 1, 0.0);
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      suffix_area_[i] =
+          suffix_area_[i + 1] + instance.job(order_[i]).size;
+    }
+  }
+
+  ExactResult run() {
+    // Incumbent: local search (always feasible, usually near-optimal).
+    Schedule start = local_search(instance_, LocalSearchOptions{20000});
+    best_schedule_ = start;
+    best_makespan_ = start.makespan(instance_);
+    lower_bound_ = model::combined_lower_bound(instance_);
+
+    dfs(0, 0);
+
+    ExactResult result;
+    result.schedule = best_schedule_;
+    result.makespan = best_makespan_;
+    result.nodes = nodes_;
+    result.proven_optimal = !aborted_;
+    return result;
+  }
+
+ private:
+  void dfs(std::size_t depth, int used_machines) {
+    if (aborted_) return;
+    if (++nodes_ > options_.max_nodes ||
+        (nodes_ % 16384 == 0 &&
+         timer_.seconds() > options_.time_limit_seconds)) {
+      aborted_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      double makespan = 0.0;
+      for (double l : loads_) makespan = std::max(makespan, l);
+      if (makespan < best_makespan_ - 1e-12) {
+        best_makespan_ = makespan;
+        for (JobId j = 0; j < instance_.num_jobs(); ++j) {
+          best_schedule_.assign(
+              j, assignment_[static_cast<std::size_t>(j)]);
+        }
+      }
+      return;
+    }
+    // Area bound over remaining jobs.
+    double current_max = 0.0;
+    double total_load = 0.0;
+    for (double l : loads_) {
+      current_max = std::max(current_max, l);
+      total_load += l;
+    }
+    const double area_bound =
+        (total_load + suffix_area_[depth]) / instance_.num_machines();
+    if (std::max(current_max, area_bound) >= best_makespan_ - 1e-12) {
+      return;
+    }
+    if (best_makespan_ <= lower_bound_ + 1e-12) {
+      return;  // incumbent already optimal
+    }
+
+    const JobId job = order_[depth];
+    const BagId bag = instance_.job(job).bag;
+    const double size = instance_.job(job).size;
+
+    // Symmetry breaking: identical empty machines are interchangeable, so
+    // try at most one fresh machine.
+    const int machine_limit =
+        std::min(instance_.num_machines(), used_machines + 1);
+    for (int machine = 0; machine < machine_limit; ++machine) {
+      if (occupancy_[static_cast<std::size_t>(machine)]
+                    [static_cast<std::size_t>(bag)]) {
+        continue;
+      }
+      if (loads_[static_cast<std::size_t>(machine)] + size >=
+          best_makespan_ - 1e-12) {
+        continue;
+      }
+      loads_[static_cast<std::size_t>(machine)] += size;
+      occupancy_[static_cast<std::size_t>(machine)]
+                [static_cast<std::size_t>(bag)] = true;
+      assignment_[static_cast<std::size_t>(job)] = machine;
+      dfs(depth + 1, std::max(used_machines, machine + 1));
+      assignment_[static_cast<std::size_t>(job)] = model::kUnassigned;
+      occupancy_[static_cast<std::size_t>(machine)]
+                [static_cast<std::size_t>(bag)] = false;
+      loads_[static_cast<std::size_t>(machine)] -= size;
+      if (aborted_) return;
+    }
+  }
+
+  const Instance& instance_;
+  ExactOptions options_;
+  util::Stopwatch timer_;
+  std::vector<double> loads_;
+  std::vector<std::vector<bool>> occupancy_;
+  std::vector<model::MachineId> assignment_;
+  std::vector<JobId> order_;
+  std::vector<double> suffix_area_;
+  Schedule best_schedule_;
+  double best_makespan_ = 0.0;
+  double lower_bound_ = 0.0;
+  long long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance,
+                        const ExactOptions& options) {
+  Solver solver(instance, options);
+  return solver.run();
+}
+
+}  // namespace bagsched::sched

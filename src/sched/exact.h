@@ -1,0 +1,33 @@
+// Exact branch-and-bound solver for small instances.
+//
+// Provides the ground-truth OPT against which approximation ratios are
+// measured (DESIGN.md experiment E1/E9). Depth-first search over job ->
+// machine assignments in LPT order, with machine-symmetry breaking, bag
+// pruning, area lower bounds, and a greedy incumbent.
+#pragma once
+
+#include <optional>
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+struct ExactOptions {
+  long long max_nodes = 50'000'000;
+  double time_limit_seconds = 30.0;
+};
+
+struct ExactResult {
+  model::Schedule schedule;
+  double makespan = 0.0;
+  bool proven_optimal = false;
+  long long nodes = 0;
+};
+
+/// Solves to optimality when the budget allows; otherwise returns the best
+/// schedule found with proven_optimal == false.
+ExactResult solve_exact(const model::Instance& instance,
+                        const ExactOptions& options = {});
+
+}  // namespace bagsched::sched

@@ -1,0 +1,151 @@
+#include "sched/greedy_bags.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace bagsched::sched {
+
+using model::BagId;
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+namespace {
+
+/// Tracks which (machine, bag) pairs are occupied.
+class Occupancy {
+ public:
+  Occupancy(int machines, int bags)
+      : bags_(bags),
+        occupied_(static_cast<std::size_t>(machines) *
+                      static_cast<std::size_t>(std::max(bags, 1)),
+                  false) {}
+
+  bool taken(int machine, BagId bag) const {
+    return occupied_[index(machine, bag)];
+  }
+  void take(int machine, BagId bag) { occupied_[index(machine, bag)] = true; }
+
+ private:
+  std::size_t index(int machine, BagId bag) const {
+    return static_cast<std::size_t>(machine) *
+               static_cast<std::size_t>(std::max(bags_, 1)) +
+           static_cast<std::size_t>(bag);
+  }
+  int bags_;
+  std::vector<bool> occupied_;
+};
+
+std::vector<JobId> lpt_order(const Instance& instance) {
+  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    order[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (instance.job(a).size != instance.job(b).size) {
+      return instance.job(a).size > instance.job(b).size;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+Schedule greedy_bags(const Instance& instance) {
+  if (!instance.is_feasible()) {
+    throw std::invalid_argument("greedy_bags: a bag exceeds machine count");
+  }
+  Schedule schedule(instance.num_jobs(), instance.num_machines());
+  Occupancy occupancy(instance.num_machines(), instance.num_bags());
+  std::vector<double> loads(
+      static_cast<std::size_t>(instance.num_machines()), 0.0);
+
+  for (JobId job : lpt_order(instance)) {
+    const BagId bag = instance.job(job).bag;
+    int best = -1;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (int machine = 0; machine < instance.num_machines(); ++machine) {
+      if (occupancy.taken(machine, bag)) continue;
+      if (loads[static_cast<std::size_t>(machine)] < best_load) {
+        best_load = loads[static_cast<std::size_t>(machine)];
+        best = machine;
+      }
+    }
+    if (best < 0) {
+      throw std::logic_error("greedy_bags: no feasible machine (impossible "
+                             "for feasible instances)");
+    }
+    schedule.assign(job, best);
+    occupancy.take(best, bag);
+    loads[static_cast<std::size_t>(best)] += instance.job(job).size;
+  }
+  return schedule;
+}
+
+Schedule greedy_stack_large_first(const Instance& instance,
+                                  double large_threshold) {
+  if (!instance.is_feasible()) {
+    throw std::invalid_argument("greedy_stack_large_first: infeasible");
+  }
+  Schedule schedule(instance.num_jobs(), instance.num_machines());
+  Occupancy occupancy(instance.num_machines(), instance.num_bags());
+  std::vector<double> loads(
+      static_cast<std::size_t>(instance.num_machines()), 0.0);
+
+  // Phase 1: first-fit the large jobs two-per-machine onto as few machines
+  // as possible — locally clever ("use fewest machines for the big stuff"),
+  // globally the Figure-1 trap.
+  std::vector<int> large_count(
+      static_cast<std::size_t>(instance.num_machines()), 0);
+  for (JobId job : lpt_order(instance)) {
+    if (instance.job(job).size < large_threshold) continue;
+    const BagId bag = instance.job(job).bag;
+    int target = -1;
+    for (int machine = 0; machine < instance.num_machines(); ++machine) {
+      if (occupancy.taken(machine, bag)) continue;
+      if (large_count[static_cast<std::size_t>(machine)] < 2) {
+        target = machine;
+        break;  // first fit
+      }
+    }
+    if (target < 0) {
+      // Fall back to least-loaded feasible machine.
+      double best_load = std::numeric_limits<double>::infinity();
+      for (int machine = 0; machine < instance.num_machines(); ++machine) {
+        if (occupancy.taken(machine, bag)) continue;
+        if (loads[static_cast<std::size_t>(machine)] < best_load) {
+          best_load = loads[static_cast<std::size_t>(machine)];
+          target = machine;
+        }
+      }
+    }
+    schedule.assign(job, target);
+    occupancy.take(target, instance.job(job).bag);
+    loads[static_cast<std::size_t>(target)] += instance.job(job).size;
+    ++large_count[static_cast<std::size_t>(target)];
+  }
+
+  // Phase 2: remaining jobs greedily to the least-loaded feasible machine.
+  for (JobId job : lpt_order(instance)) {
+    if (schedule.is_assigned(job)) continue;
+    const BagId bag = instance.job(job).bag;
+    int best = -1;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (int machine = 0; machine < instance.num_machines(); ++machine) {
+      if (occupancy.taken(machine, bag)) continue;
+      if (loads[static_cast<std::size_t>(machine)] < best_load) {
+        best_load = loads[static_cast<std::size_t>(machine)];
+        best = machine;
+      }
+    }
+    schedule.assign(job, best);
+    occupancy.take(best, bag);
+    loads[static_cast<std::size_t>(best)] += instance.job(job).size;
+  }
+  return schedule;
+}
+
+}  // namespace bagsched::sched

@@ -1,0 +1,157 @@
+#include "sched/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/greedy_bags.h"
+
+namespace bagsched::sched {
+
+using model::BagId;
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+namespace {
+
+/// (makespan, #critical machines) with tolerance-aware comparison.
+struct Score {
+  double makespan;
+  int critical;
+
+  bool better_than(const Score& other) const {
+    constexpr double tol = 1e-12;
+    if (makespan < other.makespan - tol) return true;
+    if (makespan > other.makespan + tol) return false;
+    return critical < other.critical;
+  }
+};
+
+Score score_of(const std::vector<double>& loads) {
+  double makespan = 0.0;
+  for (double l : loads) makespan = std::max(makespan, l);
+  int critical = 0;
+  for (double l : loads) {
+    if (l >= makespan - 1e-12) ++critical;
+  }
+  return {makespan, critical};
+}
+
+}  // namespace
+
+long long improve(const Instance& instance, Schedule& schedule,
+                  const LocalSearchOptions& options) {
+  const int m = instance.num_machines();
+  std::vector<double> loads = schedule.loads(instance);
+  // occupancy[machine][bag]
+  std::vector<std::vector<int>> occupancy(
+      static_cast<std::size_t>(m),
+      std::vector<int>(static_cast<std::size_t>(instance.num_bags()), 0));
+  for (const auto& job : instance.jobs()) {
+    const auto machine = schedule.machine_of(job.id);
+    if (machine != model::kUnassigned) {
+      ++occupancy[static_cast<std::size_t>(machine)]
+                 [static_cast<std::size_t>(job.bag)];
+    }
+  }
+
+  long long accepted = 0;
+  bool improved = true;
+  while (improved && accepted < options.max_moves) {
+    improved = false;
+    Score current = score_of(loads);
+
+    // Only moves involving a critical machine can improve the score, so we
+    // scan jobs on critical machines first; swaps consider all partners.
+    for (const auto& job : instance.jobs()) {
+      const int from = schedule.machine_of(job.id);
+      if (loads[static_cast<std::size_t>(from)] <
+          current.makespan - 1e-12) {
+        continue;  // not on a critical machine
+      }
+      const BagId bag = job.bag;
+
+      // Relocate.
+      for (int to = 0; to < m && accepted < options.max_moves; ++to) {
+        if (to == from ||
+            occupancy[static_cast<std::size_t>(to)]
+                     [static_cast<std::size_t>(bag)] > 0) {
+          continue;
+        }
+        std::vector<double> trial = loads;
+        trial[static_cast<std::size_t>(from)] -= job.size;
+        trial[static_cast<std::size_t>(to)] += job.size;
+        if (score_of(trial).better_than(current)) {
+          loads = std::move(trial);
+          --occupancy[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(bag)];
+          ++occupancy[static_cast<std::size_t>(to)]
+                     [static_cast<std::size_t>(bag)];
+          schedule.assign(job.id, to);
+          ++accepted;
+          improved = true;
+          current = score_of(loads);
+          break;
+        }
+      }
+      if (improved) break;  // rescan from the new critical set
+
+      // Swap with a job on another machine.
+      for (const auto& other : instance.jobs()) {
+        if (accepted >= options.max_moves) break;
+        const int to = schedule.machine_of(other.id);
+        if (to == from) continue;
+        // Feasibility after swap: `job` joins `to`, `other` joins `from`.
+        const BagId other_bag = other.bag;
+        const int blocking_to =
+            occupancy[static_cast<std::size_t>(to)]
+                     [static_cast<std::size_t>(bag)] -
+            (other_bag == bag ? 1 : 0);
+        const int blocking_from =
+            occupancy[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(other_bag)] -
+            (other_bag == bag ? 1 : 0);
+        if (bag != other_bag && (blocking_to > 0 || blocking_from > 0)) {
+          continue;
+        }
+        if (bag == other_bag &&
+            (occupancy[static_cast<std::size_t>(to)]
+                      [static_cast<std::size_t>(bag)] > 1 ||
+             occupancy[static_cast<std::size_t>(from)]
+                      [static_cast<std::size_t>(bag)] > 1)) {
+          continue;
+        }
+        std::vector<double> trial = loads;
+        trial[static_cast<std::size_t>(from)] += other.size - job.size;
+        trial[static_cast<std::size_t>(to)] += job.size - other.size;
+        if (score_of(trial).better_than(current)) {
+          loads = std::move(trial);
+          --occupancy[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(bag)];
+          ++occupancy[static_cast<std::size_t>(to)]
+                     [static_cast<std::size_t>(bag)];
+          --occupancy[static_cast<std::size_t>(to)]
+                     [static_cast<std::size_t>(other_bag)];
+          ++occupancy[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(other_bag)];
+          schedule.swap_jobs(job.id, other.id);
+          ++accepted;
+          improved = true;
+          current = score_of(loads);
+          break;
+        }
+      }
+      if (improved) break;
+    }
+  }
+  return accepted;
+}
+
+Schedule local_search(const Instance& instance,
+                      const LocalSearchOptions& options) {
+  Schedule schedule = greedy_bags(instance);
+  improve(instance, schedule, options);
+  return schedule;
+}
+
+}  // namespace bagsched::sched

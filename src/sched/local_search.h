@@ -1,0 +1,27 @@
+// Local search (relocate + swap neighbourhood) over feasible schedules.
+//
+// Practical comparator standing between greedy heuristics and the EPTAS:
+// starts from greedy_bags and descends until a local optimum or the move
+// budget runs out. The acceptance order is lexicographic
+// (makespan, number of machines attaining it), so plateau moves that reduce
+// the number of critical machines are taken — the standard trick to escape
+// flat regions of the makespan landscape.
+#pragma once
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+struct LocalSearchOptions {
+  long long max_moves = 200000;  ///< accepted-move budget
+};
+
+model::Schedule local_search(const model::Instance& instance,
+                             const LocalSearchOptions& options = {});
+
+/// Improves an existing feasible schedule in place; returns accepted moves.
+long long improve(const model::Instance& instance, model::Schedule& schedule,
+                  const LocalSearchOptions& options = {});
+
+}  // namespace bagsched::sched

@@ -1,0 +1,42 @@
+#include "sched/lpt.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace bagsched::sched {
+
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+Schedule lpt(const Instance& instance) {
+  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    order[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (instance.job(a).size != instance.job(b).size) {
+      return instance.job(a).size > instance.job(b).size;
+    }
+    return a < b;  // deterministic tie-break
+  });
+
+  // Min-heap of (load, machine).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int machine = 0; machine < instance.num_machines(); ++machine) {
+    heap.push({0.0, machine});
+  }
+
+  Schedule schedule(instance.num_jobs(), instance.num_machines());
+  for (JobId job : order) {
+    auto [load, machine] = heap.top();
+    heap.pop();
+    schedule.assign(job, machine);
+    heap.push({load + instance.job(job).size, machine});
+  }
+  return schedule;
+}
+
+}  // namespace bagsched::sched

@@ -1,0 +1,17 @@
+// Classical Longest-Processing-Time list scheduling (Graham 1969).
+//
+// Ignores the bag-constraints; used as the unconstrained reference point so
+// benches can report the *price* of the constraints (feasible algorithms can
+// never beat it).
+#pragma once
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+/// LPT ignoring bags: sort jobs by size descending, each to the least-loaded
+/// machine. The result is generally NOT bag-feasible.
+model::Schedule lpt(const model::Instance& instance);
+
+}  // namespace bagsched::sched

@@ -1,0 +1,100 @@
+#include "sched/multifit.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "model/lower_bounds.h"
+#include "sched/greedy_bags.h"
+
+namespace bagsched::sched {
+
+using model::BagId;
+using model::Instance;
+using model::JobId;
+using model::Schedule;
+
+namespace {
+
+/// First-fit-decreasing with capacity C and bag exclusion; nullopt when the
+/// jobs do not fit into m bins.
+std::optional<Schedule> ffd_pack(const Instance& instance, double capacity) {
+  std::vector<JobId> order(static_cast<std::size_t>(instance.num_jobs()));
+  for (JobId j = 0; j < instance.num_jobs(); ++j) {
+    order[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (instance.job(a).size != instance.job(b).size) {
+      return instance.job(a).size > instance.job(b).size;
+    }
+    return a < b;
+  });
+
+  const int m = instance.num_machines();
+  Schedule schedule(instance.num_jobs(), m);
+  std::vector<double> loads(static_cast<std::size_t>(m), 0.0);
+  std::vector<std::vector<bool>> has_bag(
+      static_cast<std::size_t>(m),
+      std::vector<bool>(static_cast<std::size_t>(
+                            std::max(instance.num_bags(), 1)),
+                        false));
+
+  for (JobId job : order) {
+    const double size = instance.job(job).size;
+    const BagId bag = instance.job(job).bag;
+    int target = -1;
+    for (int machine = 0; machine < m; ++machine) {
+      if (has_bag[static_cast<std::size_t>(machine)]
+                 [static_cast<std::size_t>(bag)]) {
+        continue;
+      }
+      if (loads[static_cast<std::size_t>(machine)] + size <=
+          capacity + 1e-12) {
+        target = machine;
+        break;
+      }
+    }
+    if (target < 0) return std::nullopt;
+    schedule.assign(job, target);
+    loads[static_cast<std::size_t>(target)] += size;
+    has_bag[static_cast<std::size_t>(target)]
+           [static_cast<std::size_t>(bag)] = true;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule multifit(const Instance& instance, const MultifitOptions& options) {
+  if (!instance.is_feasible()) {
+    throw std::invalid_argument("multifit: a bag exceeds the machine count");
+  }
+  if (instance.num_jobs() == 0) {
+    return Schedule(0, instance.num_machines());
+  }
+  double lo = model::combined_lower_bound(instance);
+  // Greedy always succeeds, so its makespan is a valid starting capacity.
+  Schedule best = greedy_bags(instance);
+  double hi = best.makespan(instance);
+
+  for (int i = 0; i < options.iterations && hi - lo > 1e-12 * hi; ++i) {
+    const double capacity = 0.5 * (lo + hi);
+    const auto packed = ffd_pack(instance, capacity);
+    if (packed) {
+      // FFD fit below `capacity`; its actual makespan may be even smaller.
+      const double achieved = packed->makespan(instance);
+      if (achieved < hi) {
+        best = *packed;
+        hi = achieved;
+      } else {
+        hi = capacity;
+      }
+    } else {
+      lo = capacity;
+    }
+  }
+  return best;
+}
+
+}  // namespace bagsched::sched

@@ -1,0 +1,22 @@
+// MULTIFIT (Coffman, Garey & Johnson 1978), extended to bag-constraints.
+//
+// MULTIFIT binary-searches a capacity C and first-fit-decreasing-packs the
+// jobs into m bins of that capacity; the bag-aware variant additionally
+// refuses a bin that already holds a job of the same bag. The classical
+// 13/11 bound does not carry over verbatim with bags, so this is offered as
+// a baseline, not a guarantee — benches measure where it lands.
+#pragma once
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::sched {
+
+struct MultifitOptions {
+  int iterations = 24;  ///< binary-search refinements on the capacity
+};
+
+model::Schedule multifit(const model::Instance& instance,
+                         const MultifitOptions& options = {});
+
+}  // namespace bagsched::sched

@@ -1,0 +1,42 @@
+// CSV / aligned-table writer used by the benchmark harness to emit the rows
+// and series that EXPERIMENTS.md records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bagsched::util {
+
+/// A simple in-memory table: fixed header, rows of stringified cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 4);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) {
+    return add(static_cast<long long>(value));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Writes comma-separated values (machine-readable).
+  void write_csv(std::ostream& os) const;
+  /// Writes a column-aligned table (human-readable, what the benches print).
+  void write_aligned(std::ostream& os) const;
+  /// Saves CSV to a path, creating/truncating the file.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bagsched::util

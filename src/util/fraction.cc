@@ -1,0 +1,101 @@
+#include "util/fraction.h"
+
+#include <numeric>
+#include <ostream>
+
+// __int128 is a GCC/Clang extension; it is the cheapest safe way to detect
+// int64 overflow in rational arithmetic.
+#pragma GCC diagnostic ignored "-Wpedantic"
+
+namespace bagsched::util {
+
+namespace {
+
+std::int64_t checked(__int128 value) {
+  if (value > INT64_MAX || value < INT64_MIN) throw FractionOverflow();
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+Fraction::Fraction(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  if (den_ == 0) throw std::invalid_argument("Fraction: zero denominator");
+  normalize();
+}
+
+void Fraction::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::string Fraction::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Fraction Fraction::operator-() const {
+  Fraction result;
+  result.num_ = checked(-static_cast<__int128>(num_));
+  result.den_ = den_;
+  return result;
+}
+
+Fraction Fraction::operator+(const Fraction& other) const {
+  const __int128 n = static_cast<__int128>(num_) * other.den_ +
+                     static_cast<__int128>(other.num_) * den_;
+  const __int128 d = static_cast<__int128>(den_) * other.den_;
+  return Fraction(checked(n), checked(d));
+}
+
+Fraction Fraction::operator-(const Fraction& other) const {
+  return *this + (-other);
+}
+
+Fraction Fraction::operator*(const Fraction& other) const {
+  // Cross-reduce first to delay overflow.
+  const std::int64_t g1 = std::gcd(num_, other.den_);
+  const std::int64_t g2 = std::gcd(other.num_, den_);
+  const __int128 n =
+      static_cast<__int128>(num_ / g1) * (other.num_ / g2);
+  const __int128 d =
+      static_cast<__int128>(den_ / g2) * (other.den_ / g1);
+  return Fraction(checked(n), checked(d));
+}
+
+Fraction Fraction::operator/(const Fraction& other) const {
+  if (other.num_ == 0) throw std::invalid_argument("Fraction: divide by zero");
+  return *this * Fraction(other.den_, other.num_);
+}
+
+bool Fraction::operator<(const Fraction& other) const {
+  return static_cast<__int128>(num_) * other.den_ <
+         static_cast<__int128>(other.num_) * den_;
+}
+
+Fraction Fraction::pow(const Fraction& base, int exponent) {
+  if (exponent < 0) return Fraction(1) / pow(base, -exponent);
+  Fraction result(1);
+  Fraction factor = base;
+  int e = exponent;
+  while (e > 0) {
+    if (e & 1) result *= factor;
+    e >>= 1;
+    if (e > 0) factor *= factor;
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+  return os << f.to_string();
+}
+
+}  // namespace bagsched::util

@@ -1,0 +1,71 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used by unit tests to cross-check the floating-point simplex on small LPs
+// and by the epsilon-grid code when exactness matters. Overflow is detected
+// via __int128 intermediates and reported by throwing; callers that need
+// unbounded precision should not exist in this codebase (all exact uses are
+// tiny).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace bagsched::util {
+
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+  Fraction(std::int64_t numerator, std::int64_t denominator);
+  // Intentionally implicit: lets integers participate in rational arithmetic.
+  Fraction(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const { return static_cast<double>(num_) / den_; }
+  std::string to_string() const;
+
+  Fraction operator-() const;
+  Fraction operator+(const Fraction& other) const;
+  Fraction operator-(const Fraction& other) const;
+  Fraction operator*(const Fraction& other) const;
+  Fraction operator/(const Fraction& other) const;
+
+  Fraction& operator+=(const Fraction& o) { return *this = *this + o; }
+  Fraction& operator-=(const Fraction& o) { return *this = *this - o; }
+  Fraction& operator*=(const Fraction& o) { return *this = *this * o; }
+  Fraction& operator/=(const Fraction& o) { return *this = *this / o; }
+
+  bool operator==(const Fraction& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Fraction& other) const { return !(*this == other); }
+  bool operator<(const Fraction& other) const;
+  bool operator<=(const Fraction& o) const { return *this < o || *this == o; }
+  bool operator>(const Fraction& o) const { return o < *this; }
+  bool operator>=(const Fraction& o) const { return o <= *this; }
+
+  bool is_integer() const { return den_ == 1; }
+  bool is_zero() const { return num_ == 0; }
+
+  /// Raises base to a (possibly negative) integer power exactly.
+  static Fraction pow(const Fraction& base, int exponent);
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f);
+
+/// Thrown when a rational operation would overflow int64.
+class FractionOverflow : public std::overflow_error {
+ public:
+  FractionOverflow() : std::overflow_error("Fraction overflow") {}
+};
+
+}  // namespace bagsched::util

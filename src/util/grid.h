@@ -1,0 +1,79 @@
+// Epsilon-grid rounding helpers.
+//
+// The paper's first preprocessing step rounds every processing time up to the
+// next power of (1+eps). These helpers centralize that arithmetic so that the
+// rest of the code can reason about *grid indices* (small integers) instead of
+// raw doubles, which avoids a whole class of floating-point comparison bugs.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace bagsched::util {
+
+/// Geometric grid of values (1+eps)^i for integer i (i may be negative).
+class EpsGrid {
+ public:
+  explicit EpsGrid(double eps) : eps_(eps), log_base_(std::log1p(eps)) {
+    assert(eps > 0);
+  }
+
+  double eps() const { return eps_; }
+
+  /// Grid value at index i: (1+eps)^i.
+  double value(int index) const { return std::exp(log_base_ * index); }
+
+  /// Smallest index i with (1+eps)^i >= p (round up onto the grid).
+  int index_above(double p) const {
+    assert(p > 0);
+    const double raw = std::log(p) / log_base_;
+    int idx = static_cast<int>(std::ceil(raw - kSlack));
+    // Guard against the ceiling landing one step short of p due to the slack.
+    while (value(idx) < p * (1.0 - 1e-12)) ++idx;
+    return idx;
+  }
+
+  /// Rounds p up to the next grid value (identity if already on the grid).
+  double round_up(double p) const { return value(index_above(p)); }
+
+  /// Number of grid values in the half-open interval [lo, hi).
+  int count_in_range(double lo, double hi) const {
+    assert(lo > 0 && lo < hi);
+    const int first = index_above(lo);
+    int count = 0;
+    for (int i = first; value(i) < hi * (1.0 - 1e-12); ++i) ++count;
+    return count;
+  }
+
+ private:
+  // Tolerance absorbing log/exp round-off when deciding grid membership.
+  static constexpr double kSlack = 1e-9;
+
+  double eps_;
+  double log_base_;
+};
+
+/// Rounds value up to the next integer multiple of step (step > 0).
+inline double round_up_to_multiple(double value, double step) {
+  assert(step > 0);
+  const double q = std::ceil(value / step - 1e-12);
+  return q * step;
+}
+
+/// Floating-point comparison helpers with a single project-wide tolerance.
+constexpr double kFloatTol = 1e-9;
+
+inline bool approx_eq(double a, double b, double tol = kFloatTol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+inline bool approx_le(double a, double b, double tol = kFloatTol) {
+  return a <= b + tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+inline bool approx_lt(double a, double b, double tol = kFloatTol) {
+  return a < b - tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace bagsched::util

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (level Warn); experiments flip to Info or
+// Debug to trace the EPTAS pipeline. Thread-safe: each message is formatted
+// into a single string and written with one ostream call under a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bagsched::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted message (used by the LOG macro; callable directly).
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bagsched::util
+
+#define BAGSCHED_LOG(level)                                              \
+  if (static_cast<int>(::bagsched::util::LogLevel::level) <              \
+      static_cast<int>(::bagsched::util::log_level())) {                 \
+  } else                                                                 \
+    ::bagsched::util::internal::LogLine(::bagsched::util::LogLevel::level)

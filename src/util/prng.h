@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// We deliberately avoid std::mt19937 + std::uniform_*_distribution because the
+// standard does not pin down distribution algorithms across implementations;
+// every number produced here is bit-reproducible on any platform.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <cassert>
+#include <vector>
+
+namespace bagsched::util {
+
+/// SplitMix64 — used to expand a single seed into a full xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t value = (*this)();
+    while (value >= limit) value = (*this)();
+    return lo + static_cast<std::int64_t>(value % range);
+  }
+
+  /// Uniform real in [lo, hi). Uses the top 53 bits for an exact dyadic value.
+  double uniform_real(double lo, double hi) {
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform_real(0.0, 1.0) < p; }
+
+  /// Index into [0, n).
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Fisher–Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample from a discrete distribution given non-negative weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    assert(total > 0);
+    double pick = uniform_real(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      pick -= weights[i];
+      if (pick <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bagsched::util

@@ -1,0 +1,48 @@
+// Fixed-size thread pool used to parallelize embarrassingly-parallel
+// experiment sweeps (independent (instance, eps, seed) cells).
+//
+// Design follows the Core Guidelines concurrency advice: tasks are plain
+// std::function values, all shared state is owned by the pool and guarded by
+// one mutex/condvar pair, and joining happens in the destructor (RAII).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bagsched::util {
+
+class ThreadPool {
+ public:
+  /// Creates num_threads workers (hardware concurrency when 0).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace bagsched::util

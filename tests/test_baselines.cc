@@ -1,0 +1,180 @@
+// Tests for the baseline schedulers: LPT (Graham bound), bag-LPT (paper
+// Lemma 8 invariants), greedy list scheduling with bags, and local search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+#include "sched/bag_lpt.h"
+#include "sched/greedy_bags.h"
+#include "sched/local_search.h"
+#include "sched/lpt.h"
+
+namespace bagsched {
+namespace {
+
+using model::Instance;
+using model::Schedule;
+
+TEST(LptTest, BalancesEqualJobs) {
+  const Instance instance = Instance::without_bags({1, 1, 1, 1}, 2);
+  const Schedule schedule = sched::lpt(instance);
+  const auto loads = schedule.loads(instance);
+  EXPECT_DOUBLE_EQ(loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 2.0);
+}
+
+TEST(LptTest, GrahamBoundHolds) {
+  // LPT is a (4/3 - 1/(3m))-approximation; check against the area/pmax
+  // lower bound on random instances.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::UniformParams params;
+    params.num_jobs = 50;
+    params.num_machines = 7;
+    params.seed = seed;
+    const Instance instance = gen::uniform(params);
+    const Schedule schedule = sched::lpt(instance);
+    const double bound = model::combined_lower_bound(instance);
+    const double ratio = schedule.makespan(instance) / bound;
+    EXPECT_LE(ratio, 4.0 / 3.0 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BagLptTest, ProducesFeasibleSchedules) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = gen::by_name("bagheavy", 60, 8, seed);
+    const Schedule schedule = sched::bag_lpt(instance);
+    EXPECT_TRUE(model::validate(instance, schedule).ok()) << seed;
+  }
+}
+
+TEST(BagLptTest, Lemma8SpreadBound) {
+  // Lemma 8: starting from equal heights, any two machines end within
+  // p_max of each other.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::BagHeavyParams params;
+    params.num_machines = 6;
+    params.num_bags = 5;
+    params.fill = 1.0;  // every bag has exactly m jobs: bag-LPT's home turf
+    params.seed = seed;
+    const Instance instance = gen::bag_heavy(params);
+    const Schedule schedule = sched::bag_lpt(instance);
+    const auto loads = schedule.loads(instance);
+    const double lo = *std::min_element(loads.begin(), loads.end());
+    const double hi = *std::max_element(loads.begin(), loads.end());
+    EXPECT_LE(hi - lo, instance.max_size() + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BagLptTest, Lemma8HeightBound) {
+  // Lemma 8 second part: highest machine <= h + x + pmax where x = A/m'.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::BagHeavyParams params;
+    params.num_machines = 5;
+    params.num_bags = 7;
+    params.fill = 1.0;
+    params.seed = seed + 100;
+    const Instance instance = gen::bag_heavy(params);
+    const Schedule schedule = sched::bag_lpt(instance);
+    const double x = instance.total_area() / instance.num_machines();
+    EXPECT_LE(schedule.makespan(instance),
+              x + instance.max_size() + 1e-9);
+  }
+}
+
+TEST(BagLptTest, ThrowsOnInfeasibleInstance) {
+  const Instance instance = Instance::from_vectors({1, 1, 1}, {0, 0, 0}, 2);
+  EXPECT_THROW(sched::bag_lpt(instance), std::invalid_argument);
+}
+
+TEST(BagLptAssignTest, RespectsInitialLoads) {
+  // One bag, two machines with loads {0, 10}: the bigger job goes to the
+  // empty machine.
+  const Instance instance =
+      Instance::from_vectors({5.0, 1.0}, {0, 0}, 2);
+  std::vector<sched::LptBag> bags{{{0, 1}}};
+  const auto assignment =
+      sched::bag_lpt_assign(instance, bags, {0.0, 10.0});
+  EXPECT_EQ(assignment[0][0], 0);  // job 0 (size 5) -> machine 0
+  EXPECT_EQ(assignment[0][1], 1);
+}
+
+TEST(BagLptAssignTest, RejectsOversizedBag) {
+  const Instance instance =
+      Instance::from_vectors({1.0, 1.0, 1.0}, {0, 0, 0}, 3);
+  std::vector<sched::LptBag> bags{{{0, 1, 2}}};
+  EXPECT_THROW(sched::bag_lpt_assign(instance, bags, {0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(GreedyBagsTest, AlwaysFeasibleAcrossFamilies) {
+  for (const auto& family : gen::family_names()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Instance instance = gen::by_name(family, 40, 6, seed);
+      const Schedule schedule = sched::greedy_bags(instance);
+      EXPECT_TRUE(model::validate(instance, schedule).ok())
+          << family << " seed " << seed;
+    }
+  }
+}
+
+TEST(GreedyBagsTest, TightBagSpreadsAcrossMachines) {
+  // A bag with exactly m jobs must occupy every machine.
+  gen::Figure1Params params;
+  params.num_machines = 4;
+  const Instance instance = gen::figure1(params).instance;
+  const Schedule schedule = sched::greedy_bags(instance);
+  std::vector<bool> machine_has_bag0(4, false);
+  for (const auto& job : instance.jobs()) {
+    if (job.bag == 0) {
+      machine_has_bag0[static_cast<std::size_t>(
+          schedule.machine_of(job.id))] = true;
+    }
+  }
+  for (bool has : machine_has_bag0) EXPECT_TRUE(has);
+}
+
+TEST(GreedyStackLargeFirstTest, FallsIntoFigure1Trap) {
+  // The stacking heuristic must produce a makespan of 5/3 * OPT on the
+  // figure-1 family (that is the family's purpose): two stacked 2/3-jobs
+  // plus a forced 1/3-job of the tight bag.
+  const auto planted = gen::figure1({.num_machines = 6, .scale = 1.0,
+                                     .seed = 2});
+  const Schedule trapped =
+      sched::greedy_stack_large_first(planted.instance, 0.5);
+  EXPECT_TRUE(model::validate(planted.instance, trapped).ok());
+  EXPECT_GE(trapped.makespan(planted.instance),
+            5.0 / 3.0 * planted.opt - 1e-9);
+}
+
+TEST(LocalSearchTest, NeverWorseThanGreedy) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = gen::by_name("uniform", 50, 6, seed);
+    const double greedy =
+        sched::greedy_bags(instance).makespan(instance);
+    const Schedule improved = sched::local_search(instance);
+    EXPECT_TRUE(model::validate(instance, improved).ok());
+    EXPECT_LE(improved.makespan(instance), greedy + 1e-9);
+  }
+}
+
+TEST(LocalSearchTest, SolvesFigure1ToOptimum) {
+  // Relocate/swap moves undo the stacking trap.
+  const auto planted = gen::figure1({.num_machines = 4, .scale = 1.0,
+                                     .seed = 3});
+  const Schedule schedule = sched::local_search(planted.instance);
+  EXPECT_NEAR(schedule.makespan(planted.instance), planted.opt, 1e-9);
+}
+
+TEST(LocalSearchTest, ImproveOnExistingSchedule) {
+  const Instance instance = gen::by_name("twopoint", 40, 5, 4);
+  Schedule schedule = sched::greedy_bags(instance);
+  const double before = schedule.makespan(instance);
+  sched::improve(instance, schedule);
+  EXPECT_LE(schedule.makespan(instance), before + 1e-12);
+  EXPECT_TRUE(model::validate(instance, schedule).ok());
+}
+
+}  // namespace
+}  // namespace bagsched

@@ -1,0 +1,197 @@
+// Tests for the EPTAS preprocessing: grid rounding, Lemma 1 k-selection,
+// job classes and priority-bag designation (Definition 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eptas/classify.h"
+#include "gen/generators.h"
+
+namespace bagsched {
+namespace {
+
+using eptas::Classification;
+using eptas::EptasConfig;
+using eptas::JobClass;
+using model::Instance;
+
+/// Scales an instance by 1/guess like the driver does.
+Instance scaled_copy(const Instance& instance, double guess) {
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  for (const auto& job : instance.jobs()) {
+    sizes.push_back(job.size / guess);
+    bags.push_back(job.bag);
+  }
+  return Instance::from_vectors(sizes, bags, instance.num_machines());
+}
+
+TEST(ClassifyTest, RoundsOntoGrid) {
+  const Instance instance =
+      Instance::from_vectors({0.3, 0.45, 0.7, 0.05}, {0, 1, 2, 3}, 4);
+  const auto cls = eptas::classify(instance, 0.5, EptasConfig{});
+  ASSERT_TRUE(cls.has_value());
+  for (int j = 0; j < instance.num_jobs(); ++j) {
+    const double rounded = cls->size_of(j);
+    EXPECT_GE(rounded, instance.job(j).size - 1e-12);
+    EXPECT_LE(rounded, instance.job(j).size * 1.5 + 1e-12);
+    // Power of 1.5: log must be integral.
+    const double log_value = std::log(rounded) / std::log(1.5);
+    EXPECT_NEAR(log_value, std::round(log_value), 1e-6);
+  }
+}
+
+TEST(ClassifyTest, RejectsOversizedJob) {
+  // A job of size 2 cannot fit below makespan guess 1 (even rounded).
+  const Instance instance = Instance::from_vectors({2.0}, {0}, 1);
+  EXPECT_FALSE(eptas::classify(instance, 0.5, EptasConfig{}).has_value());
+}
+
+TEST(ClassifyTest, RejectsExcessArea) {
+  // Area 4 on 2 machines: guess 1 is hopeless.
+  const Instance instance =
+      Instance::from_vectors({1, 1, 1, 1}, {0, 1, 2, 3}, 2);
+  EXPECT_FALSE(eptas::classify(instance, 0.25, EptasConfig{}).has_value());
+}
+
+TEST(ClassifyTest, Lemma1BandAreaSmall) {
+  // The chosen k must satisfy the Lemma 1 inequality.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto planted = gen::planted({.num_machines = 6,
+                                       .num_bags = 12,
+                                       .min_jobs_per_machine = 3,
+                                       .max_jobs_per_machine = 6,
+                                       .target = 1.0,
+                                       .seed = seed});
+    const double eps = 0.5;
+    const auto cls = eptas::classify(planted.instance, eps, EptasConfig{});
+    ASSERT_TRUE(cls.has_value()) << "seed " << seed;
+    EXPECT_GE(cls->k, 1);
+    EXPECT_LE(cls->k, static_cast<int>(std::ceil(1.0 / (eps * eps))));
+    double band_area = 0.0;
+    for (int j = 0; j < planted.instance.num_jobs(); ++j) {
+      const double p = cls->size_of(j);
+      if (p >= cls->medium_threshold - 1e-15 &&
+          p < cls->large_threshold - 1e-15) {
+        band_area += p;
+      }
+    }
+    EXPECT_LE(band_area,
+              eps * eps * planted.instance.num_machines() + 1e-6);
+  }
+}
+
+TEST(ClassifyTest, ClassesMatchThresholds) {
+  const auto planted = gen::planted({.num_machines = 8,
+                                     .num_bags = 16,
+                                     .min_jobs_per_machine = 2,
+                                     .max_jobs_per_machine = 8,
+                                     .target = 1.0,
+                                     .seed = 3});
+  const auto cls = eptas::classify(planted.instance, 0.5, EptasConfig{});
+  ASSERT_TRUE(cls.has_value());
+  for (int j = 0; j < planted.instance.num_jobs(); ++j) {
+    const double p = cls->size_of(j);
+    switch (cls->class_of(j)) {
+      case JobClass::Large:
+        EXPECT_GE(p, cls->large_threshold - 1e-12);
+        break;
+      case JobClass::Medium:
+        EXPECT_GE(p, cls->medium_threshold - 1e-12);
+        EXPECT_LT(p, cls->large_threshold + 1e-12);
+        break;
+      case JobClass::Small:
+        EXPECT_LT(p, cls->medium_threshold + 1e-12);
+        break;
+    }
+  }
+}
+
+TEST(ClassifyTest, ThresholdsAreEpsPowers) {
+  const Instance instance = Instance::from_vectors({0.5}, {0}, 1);
+  const auto cls = eptas::classify(instance, 0.5, EptasConfig{});
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_NEAR(cls->large_threshold, std::pow(0.5, cls->k), 1e-12);
+  EXPECT_NEAR(cls->medium_threshold, std::pow(0.5, cls->k + 1), 1e-12);
+  EXPECT_NEAR(cls->target_height, 1.0 + 2 * 0.5 + 0.25, 1e-12);
+}
+
+TEST(ClassifyTest, LargeBagsAreDetectedAndPriority) {
+  // One bag with every large job (>= eps*m of them) must be a large bag.
+  const int m = 4;
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  for (int i = 0; i < 4; ++i) {  // 4 >= eps*m = 2 large jobs in bag 0
+    sizes.push_back(0.8);
+    bags.push_back(0);
+  }
+  sizes.push_back(0.01);
+  bags.push_back(1);
+  const Instance instance = Instance::from_vectors(sizes, bags, m);
+  const auto cls = eptas::classify(instance, 0.5, EptasConfig{});
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_TRUE(cls->is_large_bag[0]);
+  EXPECT_TRUE(cls->is_priority[0]);
+  EXPECT_FALSE(cls->is_large_bag[1]);
+}
+
+TEST(ClassifyTest, PriorityCapRespected) {
+  EptasConfig config;
+  config.max_priority_total = 3;
+  const auto planted = gen::planted({.num_machines = 10,
+                                     .num_bags = 30,
+                                     .min_jobs_per_machine = 3,
+                                     .max_jobs_per_machine = 5,
+                                     .target = 1.0,
+                                     .seed = 7});
+  const auto cls =
+      eptas::classify(planted.instance, 0.5, config);
+  ASSERT_TRUE(cls.has_value());
+  int priority = 0, large_bags = 0;
+  for (std::size_t l = 0; l < cls->is_priority.size(); ++l) {
+    if (cls->is_priority[l]) ++priority;
+    if (cls->is_large_bag[l]) ++large_bags;
+  }
+  EXPECT_LE(priority, std::max(config.max_priority_total, large_bags));
+}
+
+TEST(ClassifyTest, PriorityBagsHoldTheLargestSizeCounts) {
+  // The top bag per large size (by size-restricted count) must be priority.
+  const int m = 6;
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  // Bag 0: five jobs of size 0.5 (dominant); bags 1..5 one each.
+  for (int i = 0; i < 5; ++i) {
+    sizes.push_back(0.5);
+    bags.push_back(0);
+  }
+  for (int i = 1; i <= 5; ++i) {
+    sizes.push_back(0.5);
+    bags.push_back(static_cast<model::BagId>(i));
+  }
+  const Instance instance = Instance::from_vectors(sizes, bags, m);
+  const auto cls = eptas::classify(instance, 0.5, EptasConfig{});
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_TRUE(cls->is_priority[0]);
+}
+
+TEST(ClassifyTest, PaperBPrimeFormula) {
+  EXPECT_EQ(eptas::paper_b_prime(1, 1.0), 2);      // (1*1+1)*1
+  EXPECT_EQ(eptas::paper_b_prime(2, 3.0), 21);     // (2*3+1)*3
+  EXPECT_EQ(eptas::paper_b_prime(3, 2.5), 30);     // ceil(q)=3: (3*3+1)*3
+}
+
+TEST(ClassifyTest, ScaledInstanceHelperConsistency) {
+  const auto planted = gen::planted({.num_machines = 4,
+                                     .num_bags = 8,
+                                     .min_jobs_per_machine = 2,
+                                     .max_jobs_per_machine = 4,
+                                     .target = 3.0,
+                                     .seed = 5});
+  const Instance scaled = scaled_copy(planted.instance, 3.0);
+  // After scaling by OPT the area bound is m: classification must succeed.
+  EXPECT_TRUE(eptas::classify(scaled, 0.5, EptasConfig{}).has_value());
+}
+
+}  // namespace
+}  // namespace bagsched

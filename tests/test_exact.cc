@@ -1,0 +1,87 @@
+// Tests for the exact branch-and-bound solver (the ground-truth oracle).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+#include "sched/exact.h"
+#include "sched/local_search.h"
+
+namespace bagsched {
+namespace {
+
+using model::Instance;
+
+TEST(ExactTest, TrivialSingleMachine) {
+  const Instance instance = Instance::without_bags({1, 2, 3}, 1);
+  const auto result = sched::solve_exact(instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+}
+
+TEST(ExactTest, PerfectSplit) {
+  // {4,3,2,1} on 2 machines: OPT = 5 ({4,1} | {3,2}).
+  const Instance instance = Instance::without_bags({4, 3, 2, 1}, 2);
+  const auto result = sched::solve_exact(instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+}
+
+TEST(ExactTest, BagConstraintRaisesOptimum) {
+  // Two jobs {3, 3} in one bag on 2 machines must split: OPT = 3.
+  // Without the bag they could... also split. Make it interesting: jobs
+  // {3,3} same bag + {2,2} same bag: pairs must split -> OPT = 5.
+  const Instance instance =
+      Instance::from_vectors({3, 3, 2, 2}, {0, 0, 1, 1}, 2);
+  const auto result = sched::solve_exact(instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+  EXPECT_TRUE(model::validate(instance, result.schedule).ok());
+}
+
+TEST(ExactTest, MatchesPlantedOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gen::PlantedParams params;
+    params.num_machines = 4;
+    params.min_jobs_per_machine = 2;
+    params.max_jobs_per_machine = 4;
+    params.num_bags = 8;
+    params.seed = seed;
+    const auto planted = gen::planted(params);
+    const auto result = sched::solve_exact(planted.instance);
+    ASSERT_TRUE(result.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(result.makespan, planted.opt, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, NeverBelowLowerBoundNeverAboveLocalSearch) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = gen::by_name("twopoint", 14, 3, seed);
+    const auto result = sched::solve_exact(instance);
+    EXPECT_TRUE(model::validate(instance, result.schedule).ok());
+    EXPECT_GE(result.makespan,
+              model::combined_lower_bound(instance) - 1e-9);
+    const double heuristic =
+        sched::local_search(instance).makespan(instance);
+    EXPECT_LE(result.makespan, heuristic + 1e-9);
+  }
+}
+
+TEST(ExactTest, Figure1Optimum) {
+  const auto planted = gen::figure1({.num_machines = 4, .scale = 1.0,
+                                     .seed = 1});
+  const auto result = sched::solve_exact(planted.instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+}
+
+TEST(ExactTest, BudgetExhaustionStillFeasible) {
+  const Instance instance = gen::by_name("uniform", 40, 6, 3);
+  sched::ExactOptions options;
+  options.max_nodes = 100;  // far too little to prove optimality
+  const auto result = sched::solve_exact(instance, options);
+  EXPECT_TRUE(model::validate(instance, result.schedule).ok());
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace bagsched

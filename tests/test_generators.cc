@@ -1,0 +1,187 @@
+// Tests for the workload generators: determinism, feasibility, and the
+// structural promises each family makes (planted OPT, figure-1 shape, ...).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+
+namespace bagsched {
+namespace {
+
+using model::Instance;
+
+TEST(GeneratorsTest, UniformShapeAndFeasibility) {
+  gen::UniformParams params;
+  params.num_jobs = 60;
+  params.num_machines = 6;
+  params.num_bags = 12;
+  params.seed = 3;
+  const Instance instance = gen::uniform(params);
+  EXPECT_EQ(instance.num_jobs(), 60);
+  EXPECT_EQ(instance.num_machines(), 6);
+  EXPECT_TRUE(instance.is_feasible());
+  for (const auto& job : instance.jobs()) {
+    EXPECT_GE(job.size, params.min_size);
+    EXPECT_LE(job.size, params.max_size);
+  }
+}
+
+TEST(GeneratorsTest, UniformDeterministic) {
+  gen::UniformParams params;
+  params.seed = 17;
+  const Instance a = gen::uniform(params);
+  const Instance b = gen::uniform(params);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  for (int j = 0; j < a.num_jobs(); ++j) {
+    EXPECT_DOUBLE_EQ(a.job(j).size, b.job(j).size);
+    EXPECT_EQ(a.job(j).bag, b.job(j).bag);
+  }
+}
+
+TEST(GeneratorsTest, UniformSeedsDiffer) {
+  gen::UniformParams params;
+  params.seed = 1;
+  const Instance a = gen::uniform(params);
+  params.seed = 2;
+  const Instance b = gen::uniform(params);
+  bool any_diff = false;
+  for (int j = 0; j < a.num_jobs() && !any_diff; ++j) {
+    any_diff = a.job(j).size != b.job(j).size;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, PlantedOptEqualsAreaBound) {
+  gen::PlantedParams params;
+  params.num_machines = 8;
+  params.target = 2.0;
+  params.seed = 11;
+  const auto planted = gen::planted(params);
+  EXPECT_DOUBLE_EQ(planted.opt, 2.0);
+  // Every machine was filled to exactly `target`, so area / m == target.
+  EXPECT_NEAR(model::area_lower_bound(planted.instance), 2.0, 1e-9);
+  EXPECT_TRUE(planted.instance.is_feasible());
+  // And no job exceeds the target.
+  EXPECT_LE(planted.instance.max_size(), 2.0 + 1e-12);
+}
+
+TEST(GeneratorsTest, PlantedIsPerMachineFeasible) {
+  // The planted construction uses distinct bags per machine, so a schedule
+  // of makespan `target` exists; combined lower bound must not exceed it.
+  gen::PlantedParams params;
+  params.seed = 5;
+  const auto planted = gen::planted(params);
+  EXPECT_LE(model::combined_lower_bound(planted.instance),
+            planted.opt + 1e-9);
+}
+
+TEST(GeneratorsTest, Figure1Shape) {
+  gen::Figure1Params params;
+  params.num_machines = 4;
+  params.scale = 1.0;
+  const auto planted = gen::figure1(params);
+  const Instance& instance = planted.instance;
+  EXPECT_EQ(instance.num_jobs(), 8);  // m large + m tight-bag jobs
+  EXPECT_EQ(instance.bag_size(0), 4);  // the tight bag
+  EXPECT_DOUBLE_EQ(planted.opt, 1.0);
+  int large = 0, small = 0;
+  for (const auto& job : instance.jobs()) {
+    if (job.size > 0.5) ++large;
+    else ++small;
+    EXPECT_TRUE(std::abs(job.size - 2.0 / 3.0) < 1e-12 ||
+                std::abs(job.size - 1.0 / 3.0) < 1e-12);
+  }
+  EXPECT_EQ(large, 4);
+  EXPECT_EQ(small, 4);
+}
+
+TEST(GeneratorsTest, Figure1OptIsAchievable) {
+  // One large + one tight-bag job per machine = exactly scale.
+  const auto planted = gen::figure1({.num_machines = 6, .scale = 2.0,
+                                     .seed = 1});
+  EXPECT_NEAR(model::area_lower_bound(planted.instance), 2.0, 1e-9);
+}
+
+TEST(GeneratorsTest, BagHeavyRespectsFill) {
+  gen::BagHeavyParams params;
+  params.num_machines = 10;
+  params.num_bags = 4;
+  params.fill = 0.8;
+  const Instance instance = gen::bag_heavy(params);
+  for (model::BagId l = 0; l < instance.num_bags(); ++l) {
+    EXPECT_EQ(instance.bag_size(l), 8);
+  }
+  EXPECT_TRUE(instance.is_feasible());
+}
+
+TEST(GeneratorsTest, ManySmallBagsCaps3) {
+  gen::ManySmallBagsParams params;
+  params.num_jobs = 50;
+  const Instance instance = gen::many_small_bags(params);
+  EXPECT_EQ(instance.num_jobs(), 50);
+  EXPECT_LE(instance.max_bag_size(), 3);
+}
+
+TEST(GeneratorsTest, TwoPointHasTwoSizes) {
+  gen::TwoPointParams params;
+  params.seed = 23;
+  const Instance instance = gen::two_point(params);
+  for (const auto& job : instance.jobs()) {
+    EXPECT_TRUE(job.size == params.small_size ||
+                job.size == params.large_size);
+  }
+}
+
+TEST(GeneratorsTest, ReplicaBagsShareSize) {
+  gen::ReplicaParams params;
+  params.tasks = 10;
+  params.replicas = 3;
+  params.num_machines = 5;
+  const Instance instance = gen::replica(params);
+  EXPECT_EQ(instance.num_jobs(), 30);
+  for (model::BagId task = 0; task < instance.num_bags(); ++task) {
+    const auto& members = instance.bag(task);
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_DOUBLE_EQ(instance.job(members[0]).size,
+                     instance.job(members[1]).size);
+    EXPECT_DOUBLE_EQ(instance.job(members[1]).size,
+                     instance.job(members[2]).size);
+  }
+}
+
+TEST(GeneratorsTest, ReplicaRejectsTooManyReplicas) {
+  gen::ReplicaParams params;
+  params.replicas = 5;
+  params.num_machines = 3;
+  EXPECT_THROW(gen::replica(params), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, MixedHasAllStrata) {
+  gen::MixedParams params;
+  params.seed = 9;
+  const Instance instance = gen::mixed(params);
+  EXPECT_EQ(instance.num_jobs(),
+            params.large_jobs + params.medium_jobs + params.small_jobs);
+  int large = 0, small = 0;
+  for (const auto& job : instance.jobs()) {
+    if (job.size >= 0.3 * params.target) ++large;
+    if (job.size <= 0.04 * params.target) ++small;
+  }
+  EXPECT_EQ(large, params.large_jobs);
+  EXPECT_GE(small, params.small_jobs / 2);
+}
+
+TEST(GeneratorsTest, ByNameCoversAllFamilies) {
+  for (const auto& family : gen::family_names()) {
+    const Instance instance = gen::by_name(family, 40, 5, 7);
+    EXPECT_GT(instance.num_jobs(), 0) << family;
+    EXPECT_TRUE(instance.is_feasible()) << family;
+  }
+}
+
+TEST(GeneratorsTest, ByNameUnknownThrows) {
+  EXPECT_THROW(gen::by_name("nope", 10, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bagsched

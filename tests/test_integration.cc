@@ -1,0 +1,134 @@
+// Cross-module integration tests: the EPTAS against every baseline and the
+// exact solver, parameterized over families / sizes / seeds (the property
+// sweep the task calls for).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "eptas/eptas.h"
+#include "gen/generators.h"
+#include "model/io.h"
+#include "model/lower_bounds.h"
+#include "sched/bag_lpt.h"
+#include "sched/exact.h"
+#include "sched/greedy_bags.h"
+#include "sched/local_search.h"
+
+namespace bagsched {
+namespace {
+
+using model::Instance;
+
+// ---------------------------------------------------------------------------
+// Sweep: (family, n, m, seed). Every algorithm must produce a feasible
+// schedule whose makespan is >= the combined lower bound, and the EPTAS
+// must stay within its guarantee band of the best-known value.
+using SweepParam = std::tuple<std::string, int, int, std::uint64_t>;
+
+class AlgorithmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AlgorithmSweep, AllAlgorithmsFeasibleAndOrdered) {
+  const auto& [family, n, m, seed] = GetParam();
+  const Instance instance = gen::by_name(family, n, m, seed);
+  const double lower = model::combined_lower_bound(instance);
+
+  const auto greedy = sched::greedy_bags(instance);
+  const auto baglpt = sched::bag_lpt(instance);
+  const auto local = sched::local_search(instance);
+  const auto eptas_result = eptas::eptas_schedule(instance, 0.5);
+
+  for (const auto* schedule :
+       {&greedy, &baglpt, &local, &eptas_result.schedule}) {
+    const auto validation = model::validate(instance, *schedule);
+    EXPECT_TRUE(validation.ok()) << validation.message;
+    EXPECT_GE(schedule->makespan(instance), lower - 1e-9);
+  }
+  // Local search starts from greedy: never worse.
+  EXPECT_LE(local.makespan(instance), greedy.makespan(instance) + 1e-9);
+  // The EPTAS never returns something worse than its own greedy fallback.
+  EXPECT_LE(eptas_result.makespan, greedy.makespan(instance) + 1e-9);
+  // And respects a generous guarantee band vs the lower bound.
+  EXPECT_LE(eptas_result.makespan, (1.0 + 2.0 * 0.5) * lower +
+                                       instance.max_size() * 0.5 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AlgorithmSweep,
+    ::testing::Combine(
+        ::testing::Values("uniform", "planted", "figure1", "bagheavy",
+                          "smallbags", "twopoint", "replica", "mixed"),
+        ::testing::Values(24, 48),
+        ::testing::Values(4, 8),
+        ::testing::Values<std::uint64_t>(1, 2)));
+
+// ---------------------------------------------------------------------------
+// Exact comparison on small instances: the EPTAS ratio is measured against
+// the true optimum.
+class ExactComparison
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 std::uint64_t>> {};
+
+TEST_P(ExactComparison, EptasWithinBandOfOptimum) {
+  const auto& [family, seed] = GetParam();
+  const Instance instance = gen::by_name(family, 14, 4, seed);
+  const auto exact = sched::solve_exact(instance);
+  if (!exact.proven_optimal) GTEST_SKIP();
+  const double eps = 0.5;
+  const auto result = eptas::eptas_schedule(instance, eps);
+  EXPECT_TRUE(model::validate(instance, result.schedule).ok());
+  EXPECT_GE(result.makespan, exact.makespan - 1e-9);
+  EXPECT_LE(result.makespan, (1.0 + 2.0 * eps) * exact.makespan + 1e-9)
+      << family << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, ExactComparison,
+    ::testing::Combine(::testing::Values("uniform", "twopoint", "replica",
+                                         "smallbags"),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Round-trip: schedule an instance loaded from its serialized form.
+TEST(IntegrationTest, IoThenScheduleRoundTrip) {
+  const Instance original = gen::by_name("mixed", 40, 6, 99);
+  std::stringstream stream;
+  model::write_instance(stream, original);
+  const Instance loaded = model::read_instance(stream);
+  const auto a = eptas::eptas_schedule(original, 0.5);
+  const auto b = eptas::eptas_schedule(loaded, 0.5);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+// Degenerate shapes.
+TEST(IntegrationTest, OneMachineSingletonBags) {
+  const Instance instance = Instance::without_bags({1, 2, 3}, 1);
+  const auto result = eptas::eptas_schedule(instance, 0.5);
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+}
+
+TEST(IntegrationTest, AsManyMachinesAsJobs) {
+  const Instance instance = Instance::without_bags({5, 4, 3, 2}, 4);
+  const auto result = eptas::eptas_schedule(instance, 0.5);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);  // pmax dominates
+}
+
+TEST(IntegrationTest, FullBagEqualsMachines) {
+  // One bag with exactly m equal jobs: OPT = size, forced one per machine.
+  const Instance instance =
+      Instance::from_vectors({2, 2, 2, 2}, {0, 0, 0, 0}, 4);
+  const auto result = eptas::eptas_schedule(instance, 0.5);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+}
+
+TEST(IntegrationTest, IdenticalJobsManyBags) {
+  std::vector<double> sizes(32, 0.5);
+  std::vector<model::BagId> bags;
+  for (int i = 0; i < 32; ++i) bags.push_back(i % 8);
+  const Instance instance = Instance::from_vectors(sizes, bags, 8);
+  const auto result = eptas::eptas_schedule(instance, 0.5);
+  EXPECT_TRUE(model::validate(instance, result.schedule).ok());
+  EXPECT_NEAR(result.makespan, 2.0, 1e-9);  // 32 * 0.5 / 8 = 2, exact split
+}
+
+}  // namespace
+}  // namespace bagsched

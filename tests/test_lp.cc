@@ -1,0 +1,208 @@
+// Tests for the dense two-phase simplex: optimality on known LPs,
+// infeasibility/unboundedness detection, bounds, duals, and a randomized
+// cross-check against feasibility of the returned point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/prng.h"
+
+namespace bagsched {
+namespace {
+
+using lp::Model;
+using lp::Objective;
+using lp::Sense;
+using lp::SolveStatus;
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> opt 36 at (2, 6).
+  Model model;
+  model.set_objective(Objective::Maximize);
+  const int x = model.add_variable(3.0);
+  const int y = model.add_variable(5.0);
+  model.add_constraint({{x, 1.0}}, Sense::LessEqual, 4.0);
+  model.add_constraint({{y, 2.0}}, Sense::LessEqual, 12.0);
+  model.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::LessEqual, 18.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, 36.0, 1e-7);
+  EXPECT_NEAR(result.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(result.x[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, SimpleMinimizationWithGreaterEqual) {
+  // min 2x + 3y  s.t. x + y >= 10, x >= 2  -> opt 20 at (10, 0)? No:
+  // cost(2,8) = 4+24=28, cost(10,0)=20 -> optimum (10,0), value 20.
+  Model model;
+  const int x = model.add_variable(2.0);
+  const int y = model.add_variable(3.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 10.0);
+  model.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, 20.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y  s.t. x + 2y = 4, x <= 1  -> x=0, y=2, obj 2.
+  Model model;
+  const int x = model.add_variable(1.0, 0.0, 1.0);
+  const int y = model.add_variable(1.0);
+  model.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Equal, 4.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  Model model;
+  const int x = model.add_variable(1.0);
+  model.add_constraint({{x, 1.0}}, Sense::LessEqual, 1.0);
+  model.add_constraint({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+  EXPECT_EQ(lp::solve(model).status, SolveStatus::Infeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  Model model;
+  model.set_objective(Objective::Maximize);
+  const int x = model.add_variable(1.0);
+  model.add_constraint({{x, -1.0}}, Sense::LessEqual, 0.0);  // -x <= 0
+  EXPECT_EQ(lp::solve(model).status, SolveStatus::Unbounded);
+}
+
+TEST(SimplexTest, RespectsVariableBounds) {
+  // max x + y with 1 <= x <= 3, y <= 2.
+  Model model;
+  model.set_objective(Objective::Maximize);
+  const int x = model.add_variable(1.0, 1.0, 3.0);
+  const int y = model.add_variable(1.0, 0.0, 2.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.x[static_cast<std::size_t>(x)], 3.0, 1e-7);
+  EXPECT_NEAR(result.x[static_cast<std::size_t>(y)], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, LowerBoundShiftWorks) {
+  // min x s.t. x >= 5 via bound -> x = 5.
+  Model model;
+  const int x = model.add_variable(1.0, 5.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.x[static_cast<std::size_t>(x)], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // x - y <= -2  (i.e. y >= x + 2), min y -> x=0, y=2.
+  Model model;
+  const int x = model.add_variable(0.0);
+  const int y = model.add_variable(1.0);
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::LessEqual, -2.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, DualsSatisfyStrongDuality) {
+  // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6.
+  Model model;
+  const int x = model.add_variable(2.0);
+  const int y = model.add_variable(3.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 4.0);
+  model.add_constraint({{x, 1.0}, {y, 3.0}}, Sense::GreaterEqual, 6.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  ASSERT_EQ(result.duals.size(), 2u);
+  // Strong duality: b^T y == optimal objective.
+  const double dual_objective =
+      4.0 * result.duals[0] + 6.0 * result.duals[1];
+  EXPECT_NEAR(dual_objective, result.objective, 1e-6);
+  // Dual feasibility for a min problem with >= rows: duals >= 0 and
+  // A^T y <= c.
+  EXPECT_GE(result.duals[0], -1e-9);
+  EXPECT_GE(result.duals[1], -1e-9);
+  EXPECT_LE(result.duals[0] + result.duals[1], 2.0 + 1e-7);
+  EXPECT_LE(result.duals[0] + 3.0 * result.duals[1], 3.0 + 1e-7);
+}
+
+TEST(SimplexTest, DualSignForLessEqualRows) {
+  // max x s.t. x <= 7: dual of the row (in the minimized problem) is -1.
+  Model model;
+  model.set_objective(Objective::Maximize);
+  const int x = model.add_variable(1.0);
+  model.add_constraint({{x, 1.0}}, Sense::LessEqual, 7.0);
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, 7.0, 1e-7);
+  EXPECT_NEAR(result.duals[0], -1.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Klee-Minty-flavoured degenerate LP; Bland fallback must terminate it.
+  Model model;
+  model.set_objective(Objective::Maximize);
+  std::vector<int> vars;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(model.add_variable(std::pow(2.0, n - 1 - i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < i; ++j) {
+      terms.emplace_back(vars[static_cast<std::size_t>(j)],
+                         std::pow(2.0, i - j + 1));
+    }
+    terms.emplace_back(vars[static_cast<std::size_t>(i)], 1.0);
+    model.add_constraint(std::move(terms), Sense::LessEqual,
+                         std::pow(5.0, i + 1));
+  }
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_NEAR(result.objective, std::pow(5.0, n), 1e-4);
+}
+
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, ReturnedPointIsFeasibleAndNoWorseThanSamples) {
+  // Property: on random feasible-by-construction LPs, the simplex returns a
+  // feasible point whose objective beats any random feasible sample.
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  Model model;
+  const int n = 5;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(model.add_variable(rng.uniform_real(-3.0, 3.0)));
+  }
+  // Rows a.x <= b with a >= 0 and b > 0: x = 0 is always feasible.
+  for (int r = 0; r < 6; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.emplace_back(vars[static_cast<std::size_t>(i)],
+                         rng.uniform_real(0.0, 2.0));
+    }
+    model.add_constraint(std::move(terms), Sense::LessEqual,
+                         rng.uniform_real(1.0, 5.0));
+  }
+  // Box to keep it bounded.
+  for (int i = 0; i < n; ++i) {
+    model.mutable_variable(vars[static_cast<std::size_t>(i)]).upper = 10.0;
+  }
+  const auto result = lp::solve(model);
+  ASSERT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_LE(model.max_violation(result.x), 1e-6);
+  // Random feasible samples cannot beat the optimum (minimization).
+  for (int s = 0; s < 50; ++s) {
+    std::vector<double> sample(static_cast<std::size_t>(n));
+    for (auto& value : sample) value = rng.uniform_real(0.0, 1.0);
+    if (model.max_violation(sample) <= 0.0) {
+      EXPECT_GE(model.objective_value(sample), result.objective - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace bagsched

@@ -1,0 +1,197 @@
+// Unit tests for the model module: Instance invariants, Schedule
+// validation, lower bounds, and text I/O round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/instance.h"
+#include "model/io.h"
+#include "model/lower_bounds.h"
+#include "model/schedule.h"
+
+namespace bagsched {
+namespace {
+
+using model::Instance;
+using model::Schedule;
+
+Instance tiny() {
+  // 4 jobs, 2 machines, 2 bags: bag 0 = {0, 1}, bag 1 = {2, 3}.
+  return Instance::from_vectors({1.0, 2.0, 3.0, 4.0}, {0, 0, 1, 1}, 2);
+}
+
+TEST(InstanceTest, BasicAccessors) {
+  const Instance instance = tiny();
+  EXPECT_EQ(instance.num_jobs(), 4);
+  EXPECT_EQ(instance.num_machines(), 2);
+  EXPECT_EQ(instance.num_bags(), 2);
+  EXPECT_DOUBLE_EQ(instance.total_area(), 10.0);
+  EXPECT_DOUBLE_EQ(instance.max_size(), 4.0);
+  EXPECT_EQ(instance.bag_size(0), 2);
+  EXPECT_EQ(instance.max_bag_size(), 2);
+  EXPECT_TRUE(instance.is_feasible());
+}
+
+TEST(InstanceTest, InfeasibleWhenBagExceedsMachines) {
+  const Instance instance =
+      Instance::from_vectors({1, 1, 1}, {0, 0, 0}, 2);
+  EXPECT_FALSE(instance.is_feasible());
+}
+
+TEST(InstanceTest, WithoutBagsGivesSingletons) {
+  const Instance instance = Instance::without_bags({1, 2, 3}, 2);
+  EXPECT_EQ(instance.num_bags(), 3);
+  EXPECT_EQ(instance.max_bag_size(), 1);
+}
+
+TEST(InstanceTest, RejectsNonPositiveSizes) {
+  EXPECT_THROW(Instance::from_vectors({0.0}, {0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Instance::from_vectors({-1.0}, {0}, 1),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsBadBagIds) {
+  std::vector<model::Job> jobs(1);
+  jobs[0].size = 1.0;
+  jobs[0].bag = 5;
+  EXPECT_THROW(Instance(jobs, 2, 2), std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsZeroMachines) {
+  EXPECT_THROW(Instance({}, 0, 0), std::invalid_argument);
+}
+
+TEST(ScheduleTest, LoadsAndMakespan) {
+  const Instance instance = tiny();
+  Schedule schedule(4, 2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  schedule.assign(2, 0);
+  schedule.assign(3, 1);
+  const auto loads = schedule.loads(instance);
+  EXPECT_DOUBLE_EQ(loads[0], 4.0);  // 1 + 3
+  EXPECT_DOUBLE_EQ(loads[1], 6.0);  // 2 + 4
+  EXPECT_DOUBLE_EQ(schedule.makespan(instance), 6.0);
+}
+
+TEST(ScheduleTest, ValidDetectsComplete) {
+  const Instance instance = tiny();
+  Schedule schedule(4, 2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  schedule.assign(2, 1);
+  schedule.assign(3, 0);
+  const auto result = model::validate(instance, schedule);
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+TEST(ScheduleTest, ValidateDetectsUnassigned) {
+  const Instance instance = tiny();
+  Schedule schedule(4, 2);
+  schedule.assign(0, 0);
+  const auto result = model::validate(instance, schedule);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.unassigned_jobs, 3);
+}
+
+TEST(ScheduleTest, ValidateDetectsBagConflict) {
+  const Instance instance = tiny();
+  Schedule schedule(4, 2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 0);  // bag 0 twice on machine 0
+  schedule.assign(2, 1);
+  schedule.assign(3, 0);
+  const auto result = model::validate(instance, schedule);
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.bag_feasible);
+  EXPECT_EQ(result.bag_conflicts, 1);
+}
+
+TEST(ScheduleTest, SwapJobs) {
+  Schedule schedule(2, 2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  schedule.swap_jobs(0, 1);
+  EXPECT_EQ(schedule.machine_of(0), 1);
+  EXPECT_EQ(schedule.machine_of(1), 0);
+}
+
+TEST(ScheduleTest, RequireValidThrows) {
+  const Instance instance = tiny();
+  Schedule schedule(4, 2);
+  EXPECT_THROW(model::require_valid(instance, schedule, "test"),
+               std::logic_error);
+}
+
+TEST(LowerBoundsTest, AreaAndPmax) {
+  const Instance instance = tiny();
+  EXPECT_DOUBLE_EQ(model::area_lower_bound(instance), 5.0);
+  EXPECT_DOUBLE_EQ(model::pmax_lower_bound(instance), 4.0);
+}
+
+TEST(LowerBoundsTest, PairingBoundWhenMoreJobsThanMachines) {
+  // Sizes sorted desc: 4 3 2 1, m = 2 -> bound = 3 + 2 = 5.
+  const Instance instance = tiny();
+  EXPECT_DOUBLE_EQ(model::pairing_lower_bound(instance), 5.0);
+}
+
+TEST(LowerBoundsTest, PairingZeroWhenFewJobs) {
+  const Instance instance = Instance::from_vectors({5.0}, {0}, 2);
+  EXPECT_DOUBLE_EQ(model::pairing_lower_bound(instance), 0.0);
+}
+
+TEST(LowerBoundsTest, CombinedIsMax) {
+  const Instance instance = tiny();
+  EXPECT_DOUBLE_EQ(model::combined_lower_bound(instance), 5.0);
+}
+
+TEST(LowerBoundsTest, BoundsNeverExceedOptOnKnownInstance) {
+  // Perfect split exists: {4,1} and {3,2} -> OPT = 5.
+  const Instance instance = tiny();
+  EXPECT_LE(model::combined_lower_bound(instance), 5.0 + 1e-12);
+}
+
+TEST(IoTest, InstanceRoundTrip) {
+  const Instance instance = tiny();
+  std::stringstream stream;
+  model::write_instance(stream, instance);
+  const Instance loaded = model::read_instance(stream);
+  EXPECT_EQ(loaded.num_jobs(), instance.num_jobs());
+  EXPECT_EQ(loaded.num_machines(), instance.num_machines());
+  EXPECT_EQ(loaded.num_bags(), instance.num_bags());
+  for (int j = 0; j < instance.num_jobs(); ++j) {
+    EXPECT_DOUBLE_EQ(loaded.job(j).size, instance.job(j).size);
+    EXPECT_EQ(loaded.job(j).bag, instance.job(j).bag);
+  }
+}
+
+TEST(IoTest, ScheduleRoundTrip) {
+  Schedule schedule(3, 2);
+  schedule.assign(0, 1);
+  schedule.assign(1, 0);
+  // job 2 left unassigned
+  std::stringstream stream;
+  model::write_schedule(stream, schedule);
+  const Schedule loaded = model::read_schedule(stream);
+  EXPECT_EQ(loaded.machine_of(0), 1);
+  EXPECT_EQ(loaded.machine_of(1), 0);
+  EXPECT_EQ(loaded.machine_of(2), model::kUnassigned);
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream;
+  stream << "# a comment\nbagsched 1\n\nmachines 2\nbags 1\njobs 1\n"
+         << "1.5 0  # trailing comment\n";
+  const Instance loaded = model::read_instance(stream);
+  EXPECT_EQ(loaded.num_jobs(), 1);
+  EXPECT_DOUBLE_EQ(loaded.job(0).size, 1.5);
+}
+
+TEST(IoTest, BadHeaderThrows) {
+  std::stringstream stream("nonsense 1\n");
+  EXPECT_THROW(model::read_instance(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bagsched

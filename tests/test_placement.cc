@@ -1,0 +1,162 @@
+// Tests for the Lemma 7 placement stage: all ml jobs placed, bag-feasible,
+// origins recorded, and swaps repair injected conflicts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eptas/classify.h"
+#include "eptas/milp_model.h"
+#include "eptas/placement.h"
+#include "eptas/transform.h"
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+
+namespace bagsched {
+namespace {
+
+using eptas::EptasConfig;
+using model::Instance;
+
+struct Prepared {
+  Instance scaled;
+  eptas::Classification cls;
+  eptas::Transformed transformed;
+  eptas::PatternSpace space;
+  eptas::MasterSolution master;
+};
+
+std::optional<Prepared> prepare(const Instance& instance, double eps,
+                                double guess) {
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  for (const auto& job : instance.jobs()) {
+    sizes.push_back(job.size / guess);
+    bags.push_back(job.bag);
+  }
+  Instance scaled =
+      Instance::from_vectors(sizes, bags, instance.num_machines());
+  const auto cls = eptas::classify(scaled, eps, EptasConfig{});
+  if (!cls) return std::nullopt;
+  auto transformed = eptas::transform(scaled, *cls);
+  auto space = eptas::build_pattern_space(transformed, *cls);
+  auto master = eptas::solve_master(space, transformed, *cls, EptasConfig{});
+  if (!master) return std::nullopt;
+  return Prepared{std::move(scaled), *cls, std::move(transformed),
+                  std::move(space), std::move(*master)};
+}
+
+void check_placement(const Prepared& prep,
+                     const eptas::PlacementResult& placement) {
+  const auto& inst = prep.transformed.instance;
+  // Every ml job of I' is assigned; no two of the same bag share a machine.
+  std::set<std::pair<int, model::BagId>> seen;
+  for (model::JobId j = 0; j < inst.num_jobs(); ++j) {
+    if (prep.transformed.class_of(j) == eptas::JobClass::Small) {
+      EXPECT_FALSE(placement.schedule.is_assigned(j));
+      continue;
+    }
+    ASSERT_TRUE(placement.schedule.is_assigned(j)) << "ml job " << j;
+    const int machine = placement.schedule.machine_of(j);
+    EXPECT_TRUE(
+        seen.insert({machine, inst.job(j).bag}).second)
+        << "conflict on machine " << machine;
+  }
+  // ml_load is consistent.
+  std::vector<double> loads(
+      static_cast<std::size_t>(inst.num_machines()), 0.0);
+  for (model::JobId j = 0; j < inst.num_jobs(); ++j) {
+    if (placement.schedule.is_assigned(j)) {
+      loads[static_cast<std::size_t>(placement.schedule.machine_of(j))] +=
+          inst.job(j).size;
+    }
+  }
+  for (int machine = 0; machine < inst.num_machines(); ++machine) {
+    EXPECT_NEAR(loads[static_cast<std::size_t>(machine)],
+                placement.ml_load[static_cast<std::size_t>(machine)],
+                1e-9);
+  }
+}
+
+TEST(PlacementTest, PlantedInstancesPlaceCleanly) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto planted = gen::planted({.num_machines = 6,
+                                       .num_bags = 14,
+                                       .min_jobs_per_machine = 2,
+                                       .max_jobs_per_machine = 5,
+                                       .target = 1.0,
+                                       .seed = seed});
+    const auto prep = prepare(planted.instance, 0.5, 1.05);
+    if (!prep) continue;
+    const auto placement = eptas::place_ml_jobs(
+        prep->transformed, prep->space, prep->master, EptasConfig{});
+    ASSERT_TRUE(placement.has_value()) << "seed " << seed;
+    check_placement(*prep, *placement);
+  }
+}
+
+TEST(PlacementTest, OriginsRecordedForPriorityJobs) {
+  const auto planted = gen::planted({.num_machines = 6,
+                                     .num_bags = 12,
+                                     .min_jobs_per_machine = 3,
+                                     .max_jobs_per_machine = 5,
+                                     .target = 1.0,
+                                     .seed = 4});
+  const auto prep = prepare(planted.instance, 0.5, 1.05);
+  ASSERT_TRUE(prep.has_value());
+  const auto placement = eptas::place_ml_jobs(
+      prep->transformed, prep->space, prep->master, EptasConfig{});
+  ASSERT_TRUE(placement.has_value());
+  const auto& inst = prep->transformed.instance;
+  for (model::JobId j = 0; j < inst.num_jobs(); ++j) {
+    const auto bag = inst.job(j).bag;
+    if (prep->transformed.class_of(j) != eptas::JobClass::Small &&
+        prep->transformed.is_priority[static_cast<std::size_t>(bag)]) {
+      EXPECT_TRUE(placement->origin.count(j))
+          << "priority ml job " << j << " has no origin";
+    }
+  }
+}
+
+TEST(PlacementTest, HeightMatchesPatternUnlessRescued) {
+  const auto planted = gen::planted({.num_machines = 8,
+                                     .num_bags = 16,
+                                     .min_jobs_per_machine = 2,
+                                     .max_jobs_per_machine = 4,
+                                     .target = 1.0,
+                                     .seed = 6});
+  const auto prep = prepare(planted.instance, 0.5, 1.05);
+  ASSERT_TRUE(prep.has_value());
+  const auto placement = eptas::place_ml_jobs(
+      prep->transformed, prep->space, prep->master, EptasConfig{});
+  ASSERT_TRUE(placement.has_value());
+  if (placement->rescues == 0) {
+    // Without rescues, each machine's ml load is at most its pattern height
+    // (slots may stay empty, so <=).
+    for (int machine = 0;
+         machine < prep->transformed.instance.num_machines(); ++machine) {
+      const int p =
+          placement->machine_pattern[static_cast<std::size_t>(machine)];
+      const double cap =
+          p < 0 ? 0.0
+                : prep->master.patterns[static_cast<std::size_t>(p)].height;
+      EXPECT_LE(placement->ml_load[static_cast<std::size_t>(machine)],
+                cap + 1e-9);
+    }
+  }
+}
+
+TEST(PlacementTest, FeasibleAcrossFamilies) {
+  for (const auto& family : {"twopoint", "figure1", "replica", "mixed"}) {
+    const Instance instance = gen::by_name(family, 36, 6, 7);
+    const double guess = 1.3 * model::combined_lower_bound(instance);
+    const auto prep = prepare(instance, 0.5, guess);
+    if (!prep) continue;
+    const auto placement = eptas::place_ml_jobs(
+        prep->transformed, prep->space, prep->master, EptasConfig{});
+    ASSERT_TRUE(placement.has_value()) << family;
+    check_placement(*prep, *placement);
+  }
+}
+
+}  // namespace
+}  // namespace bagsched

@@ -1,0 +1,184 @@
+// Tests for the small-job stage (§4), Lemma 3 medium insertion, and the
+// Lemma 4 lift.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eptas/classify.h"
+#include "eptas/milp_model.h"
+#include "eptas/placement.h"
+#include "eptas/small_jobs.h"
+#include "eptas/transform.h"
+#include "gen/generators.h"
+#include "model/lower_bounds.h"
+
+namespace bagsched {
+namespace {
+
+using eptas::EptasConfig;
+using model::Instance;
+
+struct Pipeline {
+  Instance scaled;
+  eptas::Classification cls;
+  eptas::Transformed transformed;
+  eptas::PatternSpace space;
+  eptas::MasterSolution master;
+  eptas::PlacementResult placement;
+};
+
+std::optional<Pipeline> run_until_placement(const Instance& instance,
+                                            double eps, double guess) {
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  for (const auto& job : instance.jobs()) {
+    sizes.push_back(job.size / guess);
+    bags.push_back(job.bag);
+  }
+  Instance scaled =
+      Instance::from_vectors(sizes, bags, instance.num_machines());
+  const auto cls = eptas::classify(scaled, eps, EptasConfig{});
+  if (!cls) return std::nullopt;
+  auto transformed = eptas::transform(scaled, *cls);
+  auto space = eptas::build_pattern_space(transformed, *cls);
+  auto master = eptas::solve_master(space, transformed, *cls, EptasConfig{});
+  if (!master) return std::nullopt;
+  auto placement =
+      eptas::place_ml_jobs(transformed, space, *master, EptasConfig{});
+  if (!placement) return std::nullopt;
+  return Pipeline{std::move(scaled),    *cls,
+                  std::move(transformed), std::move(space),
+                  std::move(*master),   std::move(*placement)};
+}
+
+TEST(SmallJobsTest, AllSmallJobsAssignedNoIntraBagConflicts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = gen::by_name("mixed", 60, 8, seed);
+    const double guess = 1.3 * model::combined_lower_bound(instance);
+    auto pipeline = run_until_placement(instance, 0.5, guess);
+    if (!pipeline) continue;
+    eptas::SmallJobStats stats;
+    ASSERT_TRUE(eptas::schedule_small_jobs(
+        pipeline->transformed, pipeline->cls, pipeline->space,
+        pipeline->master, pipeline->placement, EptasConfig{}, stats));
+    // Every I' job assigned, and the I' schedule is bag-feasible.
+    const auto validation = model::validate(pipeline->transformed.instance,
+                                            pipeline->placement.schedule);
+    EXPECT_TRUE(validation.ok()) << "seed " << seed << ": "
+                                 << validation.message;
+  }
+}
+
+TEST(SmallJobsTest, MediumInsertionAvoidsLargePartConflicts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = gen::by_name("mixed", 60, 8, seed + 20);
+    const double guess = 1.3 * model::combined_lower_bound(instance);
+    auto pipeline = run_until_placement(instance, 0.5, guess);
+    if (!pipeline) continue;
+    eptas::SmallJobStats stats;
+    ASSERT_TRUE(eptas::schedule_small_jobs(
+        pipeline->transformed, pipeline->cls, pipeline->space,
+        pipeline->master, pipeline->placement, EptasConfig{}, stats));
+    const auto mediums = eptas::insert_medium_jobs(
+        pipeline->scaled, pipeline->transformed, pipeline->placement);
+    ASSERT_TRUE(mediums.has_value()) << "seed " << seed;
+    ASSERT_EQ(mediums->size(), pipeline->transformed.removed_medium.size());
+
+    // No machine may hold a medium together with a large-part job of the
+    // same original bag, and no two mediums of one bag.
+    const auto& inst = pipeline->transformed.instance;
+    std::set<std::pair<int, model::BagId>> medium_on;
+    for (std::size_t i = 0; i < mediums->size(); ++i) {
+      const model::JobId orig = pipeline->transformed.removed_medium[i];
+      const model::BagId bag = pipeline->scaled.job(orig).bag;
+      EXPECT_TRUE(medium_on.insert({(*mediums)[i], bag}).second);
+    }
+    for (model::JobId j = 0; j < inst.num_jobs(); ++j) {
+      const model::BagId jbag = inst.job(j).bag;
+      if (!pipeline->transformed.is_large_part[static_cast<std::size_t>(
+              jbag)]) {
+        continue;
+      }
+      const model::BagId orig =
+          pipeline->transformed.orig_bag[static_cast<std::size_t>(jbag)];
+      const int machine = pipeline->placement.schedule.machine_of(j);
+      EXPECT_EQ(medium_on.count({machine, orig}), 0u)
+          << "medium conflicts with large-part job on machine " << machine;
+    }
+  }
+}
+
+TEST(SmallJobsTest, LiftProducesValidOriginalSchedule) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = gen::by_name("mixed", 50, 7, seed + 40);
+    const double guess = 1.35 * model::combined_lower_bound(instance);
+    auto pipeline = run_until_placement(instance, 0.5, guess);
+    if (!pipeline) continue;
+    eptas::SmallJobStats stats;
+    ASSERT_TRUE(eptas::schedule_small_jobs(
+        pipeline->transformed, pipeline->cls, pipeline->space,
+        pipeline->master, pipeline->placement, EptasConfig{}, stats));
+    const auto mediums = eptas::insert_medium_jobs(
+        pipeline->scaled, pipeline->transformed, pipeline->placement);
+    if (!mediums) continue;
+    const auto final_schedule = eptas::lift_solution(
+        pipeline->scaled, pipeline->transformed, pipeline->placement,
+        *mediums, EptasConfig{}, stats);
+    const auto validation =
+        model::validate(pipeline->scaled, final_schedule);
+    EXPECT_TRUE(validation.ok())
+        << "seed " << seed << ": " << validation.message;
+  }
+}
+
+TEST(SmallJobsTest, LiftSwapsNeverIncreaseTargetMachine) {
+  // Structural invariant baked into the lift: fillers are at least as large
+  // as the real small jobs they swap with. Verify on the transformation.
+  const Instance instance = gen::by_name("mixed", 60, 8, 77);
+  const double guess = 1.3 * model::combined_lower_bound(instance);
+  auto pipeline = run_until_placement(instance, 0.5, guess);
+  if (!pipeline) GTEST_SKIP();
+  const auto& transformed = pipeline->transformed;
+  const auto& inst = transformed.instance;
+  for (model::BagId l = 0; l < inst.num_bags(); ++l) {
+    double filler_size = -1.0;
+    double max_real_small = 0.0;
+    for (model::JobId j : inst.bag(l)) {
+      if (transformed.class_of(j) != eptas::JobClass::Small) continue;
+      if (transformed.is_filler[static_cast<std::size_t>(j)]) {
+        filler_size = inst.job(j).size;
+      } else {
+        max_real_small = std::max(max_real_small, inst.job(j).size);
+      }
+    }
+    if (filler_size >= 0.0) {
+      EXPECT_GE(filler_size, max_real_small - 1e-12) << "bag " << l;
+    }
+  }
+}
+
+TEST(SmallJobsTest, GroupBagLptKeepsLoadsBalanced) {
+  // Lemma 9 flavour: after the small stage, the spread of machine loads is
+  // bounded by (pattern spread) + pmax of small jobs (empirically we check
+  // a generous 2x band against the average).
+  const auto planted = gen::planted({.num_machines = 8,
+                                     .num_bags = 20,
+                                     .min_jobs_per_machine = 4,
+                                     .max_jobs_per_machine = 8,
+                                     .target = 1.0,
+                                     .seed = 13});
+  auto pipeline = run_until_placement(planted.instance, 0.5, 1.05);
+  ASSERT_TRUE(pipeline.has_value());
+  eptas::SmallJobStats stats;
+  ASSERT_TRUE(eptas::schedule_small_jobs(
+      pipeline->transformed, pipeline->cls, pipeline->space,
+      pipeline->master, pipeline->placement, EptasConfig{}, stats));
+  const auto loads =
+      pipeline->placement.schedule.loads(pipeline->transformed.instance);
+  const double hi = *std::max_element(loads.begin(), loads.end());
+  EXPECT_LE(hi, pipeline->cls.target_height + pipeline->cls.large_threshold +
+                    0.5);
+}
+
+}  // namespace
+}  // namespace bagsched

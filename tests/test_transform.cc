@@ -1,0 +1,222 @@
+// Tests for the §2.2 instance transformation (Lemma 2 structure) and its
+// bookkeeping.
+#include <gtest/gtest.h>
+
+#include "eptas/classify.h"
+#include "eptas/transform.h"
+#include "gen/generators.h"
+
+namespace bagsched {
+namespace {
+
+using eptas::EptasConfig;
+using eptas::JobClass;
+using eptas::Transformed;
+using model::Instance;
+
+struct Prepared {
+  Instance scaled;
+  eptas::Classification cls;
+  Transformed transformed;
+};
+
+Prepared prepare(const Instance& instance, double eps,
+                 EptasConfig config = {}) {
+  const auto cls = eptas::classify(instance, eps, config);
+  EXPECT_TRUE(cls.has_value());
+  Transformed transformed = eptas::transform(instance, *cls);
+  return Prepared{instance, *cls, std::move(transformed)};
+}
+
+Instance mixed_instance(std::uint64_t seed) {
+  gen::MixedParams params;
+  params.num_machines = 8;
+  params.num_bags = 16;
+  params.large_jobs = 6;
+  params.medium_jobs = 8;
+  params.small_jobs = 30;
+  params.seed = seed;
+  // Scale down so total area fits below m (the driver normally guarantees
+  // this via the makespan guess).
+  Instance raw = gen::mixed(params);
+  std::vector<double> sizes;
+  std::vector<model::BagId> bags;
+  const double shrink =
+      0.8 * params.num_machines / raw.total_area();
+  for (const auto& job : raw.jobs()) {
+    sizes.push_back(job.size * std::min(1.0, shrink));
+    bags.push_back(job.bag);
+  }
+  return Instance::from_vectors(sizes, bags, params.num_machines);
+}
+
+TEST(TransformTest, PriorityBagsUntouched) {
+  const Prepared prep = prepare(mixed_instance(1), 0.5);
+  const auto& inst = prep.transformed.instance;
+  for (model::BagId l = 0; l < prep.scaled.num_bags(); ++l) {
+    if (!prep.cls.is_priority[static_cast<std::size_t>(l)]) continue;
+    // Every original job of a priority bag appears in the same bag of I'.
+    std::size_t found = 0;
+    for (model::JobId j : inst.bag(l)) {
+      const model::JobId orig =
+          prep.transformed.orig_job[static_cast<std::size_t>(j)];
+      ASSERT_NE(orig, model::kUnassigned);
+      EXPECT_EQ(prep.scaled.job(orig).bag, l);
+      ++found;
+    }
+    EXPECT_EQ(found, prep.scaled.bag(l).size());
+  }
+}
+
+TEST(TransformTest, NonPriorityMediumsRemoved) {
+  const Prepared prep = prepare(mixed_instance(2), 0.5);
+  // No medium job of a non-priority bag may survive into I'.
+  for (model::JobId j = 0; j < prep.transformed.instance.num_jobs(); ++j) {
+    const model::BagId bag = prep.transformed.instance.job(j).bag;
+    if (prep.transformed.is_priority[static_cast<std::size_t>(bag)]) {
+      continue;
+    }
+    EXPECT_NE(prep.transformed.class_of(j), JobClass::Medium)
+        << "job " << j << " in bag " << bag;
+  }
+  // Removed mediums are exactly the non-priority medium jobs of I.
+  std::size_t expected = 0;
+  for (model::JobId j = 0; j < prep.scaled.num_jobs(); ++j) {
+    if (prep.cls.class_of(j) == JobClass::Medium &&
+        !prep.cls.is_priority[static_cast<std::size_t>(
+            prep.scaled.job(j).bag)]) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(prep.transformed.removed_medium.size(), expected);
+}
+
+TEST(TransformTest, LargePartBagsHoldOnlyLargeJobs) {
+  const Prepared prep = prepare(mixed_instance(3), 0.5);
+  const auto& inst = prep.transformed.instance;
+  for (model::BagId l = 0; l < inst.num_bags(); ++l) {
+    if (!prep.transformed.is_large_part[static_cast<std::size_t>(l)]) {
+      continue;
+    }
+    EXPECT_FALSE(prep.transformed.is_priority[static_cast<std::size_t>(l)]);
+    for (model::JobId j : inst.bag(l)) {
+      EXPECT_EQ(prep.transformed.class_of(j), JobClass::Large);
+      // And it maps back to the right original bag.
+      const model::JobId orig =
+          prep.transformed.orig_job[static_cast<std::size_t>(j)];
+      EXPECT_EQ(prep.scaled.job(orig).bag,
+                prep.transformed.orig_bag[static_cast<std::size_t>(l)]);
+    }
+  }
+}
+
+TEST(TransformTest, FillerCountMatchesMlCount) {
+  const Prepared prep = prepare(mixed_instance(4), 0.5);
+  const auto& inst = prep.transformed.instance;
+  for (model::BagId l = 0; l < prep.scaled.num_bags(); ++l) {
+    if (prep.cls.is_priority[static_cast<std::size_t>(l)]) continue;
+    int ml = 0;
+    bool has_small = false;
+    for (model::JobId j : prep.scaled.bag(l)) {
+      if (prep.cls.class_of(j) == JobClass::Small) {
+        has_small = true;
+      } else {
+        ++ml;
+      }
+    }
+    int fillers = 0;
+    for (model::JobId j : inst.bag(l)) {
+      if (prep.transformed.is_filler[static_cast<std::size_t>(j)]) {
+        ++fillers;
+      }
+    }
+    EXPECT_EQ(fillers, has_small ? ml : 0) << "bag " << l;
+  }
+}
+
+TEST(TransformTest, FillersAreSmallAndSizedLikeLargestSmall) {
+  const Prepared prep = prepare(mixed_instance(5), 0.5);
+  const auto& inst = prep.transformed.instance;
+  for (model::JobId j = 0; j < inst.num_jobs(); ++j) {
+    if (!prep.transformed.is_filler[static_cast<std::size_t>(j)]) continue;
+    EXPECT_EQ(prep.transformed.class_of(j), JobClass::Small);
+    // Filler size equals the max small size of its bag.
+    const model::BagId bag = inst.job(j).bag;
+    double pmax = 0.0;
+    for (model::JobId other : inst.bag(bag)) {
+      if (!prep.transformed.is_filler[static_cast<std::size_t>(other)] &&
+          prep.transformed.class_of(other) == JobClass::Small) {
+        pmax = std::max(pmax, inst.job(other).size);
+      }
+    }
+    EXPECT_DOUBLE_EQ(inst.job(j).size, pmax);
+  }
+}
+
+TEST(TransformTest, SmallPartBagsFitMachineCount) {
+  // |B_l small-part| = #small + #fillers <= |B_l original| <= m.
+  const Prepared prep = prepare(mixed_instance(6), 0.5);
+  EXPECT_LE(prep.transformed.instance.max_bag_size(),
+            prep.scaled.num_machines());
+}
+
+TEST(TransformTest, JobConservation) {
+  // Every original job appears exactly once in I' or in removed_medium.
+  const Prepared prep = prepare(mixed_instance(7), 0.5);
+  std::vector<int> seen(static_cast<std::size_t>(prep.scaled.num_jobs()),
+                        0);
+  for (model::JobId j = 0; j < prep.transformed.instance.num_jobs(); ++j) {
+    const model::JobId orig =
+        prep.transformed.orig_job[static_cast<std::size_t>(j)];
+    if (orig != model::kUnassigned) {
+      ++seen[static_cast<std::size_t>(orig)];
+    }
+  }
+  for (model::JobId j : prep.transformed.removed_medium) {
+    ++seen[static_cast<std::size_t>(j)];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(TransformTest, AreaGrowthBoundedLemma2) {
+  // Lemma 2: the transformation adds at most one small job per ml job, so
+  // the area grows by at most eps * original (pmax_small < eps^{k+1} and
+  // ml jobs are >= eps^{k+1}; per machine the paper gets (1+eps)C; here we
+  // check the global area version).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Prepared prep = prepare(mixed_instance(seed + 10), 0.5);
+    double original_area = 0.0;
+    for (int j = 0; j < prep.scaled.num_jobs(); ++j) {
+      original_area += prep.cls.size_of(j);
+    }
+    double transformed_area = prep.transformed.instance.total_area();
+    for (model::JobId j : prep.transformed.removed_medium) {
+      transformed_area += prep.cls.size_of(j);
+    }
+    EXPECT_LE(transformed_area, (1.0 + 0.5) * original_area + 1e-9);
+  }
+}
+
+TEST(TransformTest, NoSmallJobsMeansNoFillers) {
+  // Bag with only large jobs: splits into a large-part bag, no fillers.
+  std::vector<double> sizes{0.6, 0.6, 0.6};
+  std::vector<model::BagId> bags{0, 0, 0};
+  // Add some singleton small bags so the instance classifies cleanly.
+  sizes.push_back(0.01);
+  bags.push_back(1);
+  // m = 8 keeps bag 0 below the large-bag threshold (3 < eps*m = 4).
+  const Instance instance = Instance::from_vectors(sizes, bags, 8);
+  EptasConfig config;
+  config.max_priority_per_size = 0;  // force bag 0 non-priority
+  config.max_priority_total = 0;
+  const auto cls = eptas::classify(instance, 0.5, config);
+  ASSERT_TRUE(cls.has_value());
+  ASSERT_FALSE(cls->is_priority[0]);
+  const Transformed transformed = eptas::transform(instance, *cls);
+  for (model::JobId j = 0; j < transformed.instance.num_jobs(); ++j) {
+    EXPECT_FALSE(transformed.is_filler[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace
+}  // namespace bagsched

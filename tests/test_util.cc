@@ -1,0 +1,162 @@
+// Unit tests for the util module: PRNG determinism, exact rationals,
+// epsilon-grid rounding, tables and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/fraction.h"
+#include "util/grid.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace bagsched {
+namespace {
+
+using util::EpsGrid;
+using util::Fraction;
+using util::Table;
+using util::ThreadPool;
+using util::Xoshiro256;
+
+TEST(Prng, DeterministicForFixedSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformIntInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.uniform_int(-5, 9);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 9);
+  }
+}
+
+TEST(Prng, UniformIntCoversRange) {
+  Xoshiro256 rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, UniformRealInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(value, 0.25);
+    EXPECT_LT(value, 0.75);
+  }
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Xoshiro256 rng(5);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  auto copy = values;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Fraction, BasicArithmetic) {
+  const Fraction half(1, 2);
+  const Fraction third(1, 3);
+  EXPECT_EQ(half + third, Fraction(5, 6));
+  EXPECT_EQ(half - third, Fraction(1, 6));
+  EXPECT_EQ(half * third, Fraction(1, 6));
+  EXPECT_EQ(half / third, Fraction(3, 2));
+}
+
+TEST(Fraction, NormalizesSignAndGcd) {
+  EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(1, -2), Fraction(-1, 2));
+  EXPECT_EQ(Fraction(-3, -6), Fraction(1, 2));
+  EXPECT_EQ(Fraction(0, 5).den(), 1);
+}
+
+TEST(Fraction, Comparisons) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_GT(Fraction(-1, 3), Fraction(-1, 2));
+  EXPECT_LE(Fraction(2, 4), Fraction(1, 2));
+}
+
+TEST(Fraction, PowExact) {
+  EXPECT_EQ(Fraction::pow(Fraction(1, 2), 3), Fraction(1, 8));
+  EXPECT_EQ(Fraction::pow(Fraction(1, 2), -2), Fraction(4));
+  EXPECT_EQ(Fraction::pow(Fraction(3, 2), 0), Fraction(1));
+}
+
+TEST(Fraction, ZeroDenominatorThrows) {
+  EXPECT_THROW(Fraction(1, 0), std::invalid_argument);
+  EXPECT_THROW(Fraction(1, 2) / Fraction(0, 3), std::invalid_argument);
+}
+
+TEST(EpsGridTest, RoundUpIsOnGridAndAbove) {
+  const EpsGrid grid(0.5);
+  for (double p : {0.05, 0.31, 0.5, 0.9, 1.0, 1.49}) {
+    const double rounded = grid.round_up(p);
+    EXPECT_GE(rounded, p * (1 - 1e-12));
+    EXPECT_LE(rounded, p * 1.5 + 1e-12);  // at most one factor above
+    // Idempotent: rounding a grid value returns itself.
+    EXPECT_NEAR(grid.round_up(rounded), rounded, 1e-12);
+  }
+}
+
+TEST(EpsGridTest, IndexAboveMatchesValue) {
+  const EpsGrid grid(0.25);
+  EXPECT_EQ(grid.index_above(1.0), 0);
+  EXPECT_EQ(grid.index_above(1.25), 1);
+  EXPECT_EQ(grid.index_above(1.2), 1);
+  EXPECT_EQ(grid.index_above(0.9), 0);
+}
+
+TEST(EpsGridTest, RoundUpToMultiple) {
+  EXPECT_DOUBLE_EQ(util::round_up_to_multiple(0.31, 0.1), 0.4);
+  EXPECT_NEAR(util::round_up_to_multiple(0.4, 0.1), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(util::round_up_to_multiple(0.0, 0.1), 0.0);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table({"a", "b"});
+  table.row().add(1).add(2.5, 1);
+  table.row().add("x").add("y");
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\nx,y\n");
+}
+
+TEST(TableTest, AlignedHasHeader) {
+  Table table({"col", "value"});
+  table.row().add("hello").add(3LL);
+  std::ostringstream os;
+  table.write_aligned(os);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+  EXPECT_NE(os.str().find("hello"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bagsched
