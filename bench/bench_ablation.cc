@@ -2,20 +2,25 @@
 //  A1  priority-bag caps        — quality/time trade of the practical b'
 //  A2  guess-grid granularity   — dual-approximation step size
 //  A3  rescue placements        — structure-breaking escape hatch on/off
-// Each section reports ratio vs the planted optimum and wall time.
+// Each section reports ratio vs the planted optimum and wall time. The
+// EPTAS runs through bagsched::api; the ablation knobs are the
+// SolveOptions::eptas sub-config.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
+#include "api/api.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 namespace {
 
+namespace api = bagsched::api;
 namespace gen = bagsched::gen;
-using bagsched::eptas::EptasConfig;
+
+const api::Solver& eptas() {
+  return api::SolverRegistry::global().resolve("eptas");
+}
 
 struct Cell {
   double mean_ratio = 0.0;
@@ -23,7 +28,7 @@ struct Cell {
   int pipe_fail = 0;
 };
 
-Cell run_cells(const EptasConfig& config, double eps) {
+Cell run_cells(const api::SolveOptions& options) {
   Cell cell;
   const int seeds = 4;
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -33,12 +38,11 @@ Cell run_cells(const EptasConfig& config, double eps) {
                                        .max_jobs_per_machine = 6,
                                        .target = 1.0,
                                        .seed = seed});
-    bagsched::util::Stopwatch timer;
-    const auto result =
-        bagsched::eptas::eptas_schedule(planted.instance, eps, config);
-    cell.mean_seconds += timer.seconds();
-    if (result.stats.pipeline_succeeded) {
-      cell.mean_ratio += result.stats.pipeline_makespan / planted.opt;
+    const auto result = eptas().solve(planted.instance, options);
+    cell.mean_seconds += result.wall_seconds;
+    if (api::stat_bool(result.stats, "pipeline_succeeded")) {
+      cell.mean_ratio +=
+          api::stat_real(result.stats, "pipeline_makespan") / planted.opt;
     } else {
       ++cell.pipe_fail;
       cell.mean_ratio += result.makespan / planted.opt;
@@ -54,13 +58,14 @@ void print_ablation_tables() {
     bagsched::util::Table table({"prio_per_size", "prio_total",
                                  "pipe_ratio", "seconds", "pipe_fail"});
     for (const int cap : {0, 1, 2, 3, 6, 12}) {
-      EptasConfig config;
-      config.max_priority_per_size = cap;
-      config.max_priority_total = std::max(1, 2 * cap);
-      const Cell cell = run_cells(config, 0.5);
+      api::SolveOptions options;
+      options.eps = 0.5;
+      options.eptas.max_priority_per_size = cap;
+      options.eptas.max_priority_total = std::max(1, 2 * cap);
+      const Cell cell = run_cells(options);
       table.row()
           .add(cap)
-          .add(config.max_priority_total)
+          .add(options.eptas.max_priority_total)
           .add(cell.mean_ratio, 4)
           .add(cell.mean_seconds, 4)
           .add(cell.pipe_fail);
@@ -74,9 +79,10 @@ void print_ablation_tables() {
     bagsched::util::Table table(
         {"guess_step_frac", "pipe_ratio", "seconds", "guesses~"});
     for (const double step : {0.125, 0.25, 0.5, 1.0, 2.0}) {
-      EptasConfig config;
-      config.guess_step_fraction = step;
-      const Cell cell = run_cells(config, 0.5);
+      api::SolveOptions options;
+      options.eps = 0.5;
+      options.eptas.guess_step_fraction = step;
+      const Cell cell = run_cells(options);
       table.row()
           .add(step, 3)
           .add(cell.mean_ratio, 4)
@@ -92,9 +98,10 @@ void print_ablation_tables() {
     bagsched::util::Table table(
         {"rescue", "pipe_ratio", "seconds", "pipe_fail"});
     for (const bool rescue : {true, false}) {
-      EptasConfig config;
-      config.enable_rescue = rescue;
-      const Cell cell = run_cells(config, 0.5);
+      api::SolveOptions options;
+      options.eps = 0.5;
+      options.eptas.enable_rescue = rescue;
+      const Cell cell = run_cells(options);
       table.row()
           .add(rescue ? "on" : "off")
           .add(cell.mean_ratio, 4)
@@ -110,9 +117,11 @@ void print_ablation_tables() {
 }
 
 void BM_AblationPriorityCap(benchmark::State& state) {
-  EptasConfig config;
-  config.max_priority_per_size = static_cast<int>(state.range(0));
-  config.max_priority_total = std::max<int>(1, 2 * state.range(0));
+  api::SolveOptions options;
+  options.eps = 0.5;
+  options.eptas.max_priority_per_size = static_cast<int>(state.range(0));
+  options.eptas.max_priority_total =
+      std::max<int>(1, 2 * static_cast<int>(state.range(0)));
   const auto planted = gen::planted({.num_machines = 8,
                                      .num_bags = 24,
                                      .min_jobs_per_machine = 3,
@@ -120,8 +129,7 @@ void BM_AblationPriorityCap(benchmark::State& state) {
                                      .target = 1.0,
                                      .seed = 1});
   for (auto _ : state) {
-    auto result =
-        bagsched::eptas::eptas_schedule(planted.instance, 0.5, config);
+    auto result = eptas().solve(planted.instance, options);
     benchmark::DoNotOptimize(result.makespan);
   }
 }

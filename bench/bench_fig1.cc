@@ -2,23 +2,19 @@
 // (height-OPT for the large jobs alone) forces small jobs of a tight bag to
 // overload a machine; a globally-informed placement achieves OPT. The table
 // regenerates the figure as measured makespans: the stacking heuristic must
-// sit at 5/3 * OPT while the EPTAS stays within its (1+O(eps)) band.
+// sit at 5/3 * OPT while the EPTAS stays within its (1+O(eps)) band. All
+// solvers are resolved through the bagsched::api registry.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
-#include "sched/bag_lpt.h"
-#include "sched/exact.h"
-#include "sched/greedy_bags.h"
-#include "sched/local_search.h"
+#include "api/api.h"
 #include "util/csv.h"
 
 namespace {
 
+namespace api = bagsched::api;
 namespace gen = bagsched::gen;
-namespace sched = bagsched::sched;
 
 void print_fig1_table() {
   bagsched::util::Table table({"m", "OPT", "stack_greedy", "greedy",
@@ -28,13 +24,17 @@ void print_fig1_table() {
     const auto planted =
         gen::figure1({.num_machines = m, .scale = 1.0, .seed = 1});
     const auto& instance = planted.instance;
+    api::SolveOptions options;
+    options.eps = 0.4;
+    options.stack_threshold = 0.5;
     const double stack =
-        sched::greedy_stack_large_first(instance, 0.5).makespan(instance);
-    const double greedy = sched::greedy_bags(instance).makespan(instance);
-    const double baglpt = sched::bag_lpt(instance).makespan(instance);
-    const double local = sched::local_search(instance).makespan(instance);
-    const auto eptas_result =
-        bagsched::eptas::eptas_schedule(instance, 0.4);
+        api::solve("greedy-stack", instance, options).makespan;
+    const double greedy =
+        api::solve("greedy-bags", instance, options).makespan;
+    const double baglpt = api::solve("bag-lpt", instance, options).makespan;
+    const double local =
+        api::solve("local-search", instance, options).makespan;
+    const double eptas = api::solve("eptas", instance, options).makespan;
     table.row()
         .add(m)
         .add(planted.opt, 4)
@@ -42,9 +42,9 @@ void print_fig1_table() {
         .add(greedy, 4)
         .add(baglpt, 4)
         .add(local, 4)
-        .add(eptas_result.makespan, 4)
+        .add(eptas, 4)
         .add(stack / planted.opt, 4)
-        .add(eptas_result.makespan / planted.opt, 4);
+        .add(eptas / planted.opt, 4);
   }
   std::cout << "\n=== E3 / Figure 1: large-job placement matters ===\n";
   table.write_aligned(std::cout);
@@ -56,8 +56,9 @@ void BM_Fig1Eptas(benchmark::State& state) {
   const auto planted = gen::figure1(
       {.num_machines = static_cast<int>(state.range(0)), .scale = 1.0,
        .seed = 1});
+  const auto& solver = api::SolverRegistry::global().resolve("eptas");
   for (auto _ : state) {
-    auto result = bagsched::eptas::eptas_schedule(planted.instance, 0.4);
+    auto result = solver.solve(planted.instance, {.eps = 0.4});
     benchmark::DoNotOptimize(result.makespan);
   }
 }

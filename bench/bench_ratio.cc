@@ -1,18 +1,23 @@
 // E1 (Theorem 1, approximation ratio): EPTAS makespan against the planted
 // optimum across eps values, machine counts and seeds. The paper proves
 // ratio <= 1 + O(eps); the table's `max_ratio` column must stay below
-// 1 + c*eps with a small c, and shrink as eps shrinks.
+// 1 + c*eps with a small c, and shrink as eps shrinks. The EPTAS runs
+// through bagsched::api; pipeline internals come from the telemetry.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
+#include "api/api.h"
 #include "util/csv.h"
 
 namespace {
 
-using bagsched::eptas::eptas_schedule;
+namespace api = bagsched::api;
+
+const api::Solver& eptas() {
+  return api::SolverRegistry::global().resolve("eptas");
+}
 
 void print_ratio_table() {
   bagsched::util::Table table({"eps", "m", "jobs~", "seeds", "mean_ratio",
@@ -35,13 +40,15 @@ void print_ratio_table() {
                                     .target = 1.0,
                                     .seed = seed});
         jobs = planted.instance.num_jobs();
-        const auto result = eptas_schedule(planted.instance, eps);
+        const auto result = eptas().solve(planted.instance, {.eps = eps});
         const double ratio = result.makespan / planted.opt;
         sum_ratio += ratio;
         max_ratio = std::max(max_ratio, ratio);
-        if (result.stats.pipeline_succeeded) {
-          pipe_max = std::max(pipe_max,
-                              result.stats.pipeline_makespan / planted.opt);
+        if (api::stat_bool(result.stats, "pipeline_succeeded")) {
+          pipe_max = std::max(
+              pipe_max,
+              api::stat_real(result.stats, "pipeline_makespan") /
+                  planted.opt);
         } else {
           ++pipe_fail;
         }
@@ -77,7 +84,7 @@ void BM_EptasPlanted(benchmark::State& state) {
        .seed = 1});
   const double eps = static_cast<double>(state.range(1)) / 100.0;
   for (auto _ : state) {
-    auto result = eptas_schedule(planted.instance, eps);
+    auto result = eptas().solve(planted.instance, {.eps = eps});
     benchmark::DoNotOptimize(result.makespan);
   }
 }

@@ -1,21 +1,20 @@
 // E6 (Lemmas 7 and 11): conflict repair. On conflict-dense families the
 // placement stage must repair B_x slot collisions by swapping (Lemma 7) and
 // the small-job stage must undo the interactions of those swaps via the
-// origin chain (Lemma 11). The table counts repairs and verifies the final
-// schedule never needs more than the rescue-free structure on these
-// families (rescues = structure breaks, ideally 0).
+// origin chain (Lemma 11). The table counts repairs (read back from the
+// api telemetry) and verifies the final schedule never needs more than the
+// rescue-free structure on these families (rescues = structure breaks,
+// ideally 0).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
-#include "model/lower_bounds.h"
+#include "api/api.h"
 #include "util/csv.h"
 
 namespace {
 
-namespace gen = bagsched::gen;
+namespace api = bagsched::api;
 
 void print_repair_table() {
   bagsched::util::Table table({"family", "seed", "n", "swaps",
@@ -23,20 +22,21 @@ void print_repair_table() {
                                "fallback", "makespan/LB"});
   for (const auto* family : {"replica", "bagheavy", "figure1", "mixed"}) {
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-      const auto instance = gen::by_name(family, 48, 8, seed);
-      const auto result = bagsched::eptas::eptas_schedule(instance, 0.5);
-      const double lower =
-          bagsched::model::combined_lower_bound(instance);
+      api::SolveOptions options;
+      options.eps = 0.5;
+      options.seed = seed;
+      const auto instance = api::make_instance(family, 48, 8, options);
+      const auto result = api::solve("eptas", instance, options);
       table.row()
           .add(family)
           .add(static_cast<long long>(seed))
           .add(instance.num_jobs())
-          .add(result.stats.swaps)
-          .add(result.stats.origin_repairs)
-          .add(result.stats.lift_swaps)
-          .add(result.stats.rescues)
-          .add(result.stats.used_fallback ? "yes" : "no")
-          .add(result.makespan / lower, 4);
+          .add(api::stat_int(result.stats, "swaps"))
+          .add(api::stat_int(result.stats, "origin_repairs"))
+          .add(api::stat_int(result.stats, "lift_swaps"))
+          .add(api::stat_int(result.stats, "rescues"))
+          .add(api::stat_bool(result.stats, "used_fallback") ? "yes" : "no")
+          .add(result.makespan / result.lower_bound, 4);
     }
   }
   std::cout << "\n=== E6 / Lemmas 7+11: conflict repair counts ===\n";
@@ -46,10 +46,11 @@ void print_repair_table() {
 }
 
 void BM_EptasConflictDense(benchmark::State& state) {
-  const auto instance = gen::by_name(
-      "replica", static_cast<int>(state.range(0)), 8, 1);
+  const auto instance = api::make_instance(
+      "replica", static_cast<int>(state.range(0)), 8, {.seed = 1});
+  const auto& solver = api::SolverRegistry::global().resolve("eptas");
   for (auto _ : state) {
-    auto result = bagsched::eptas::eptas_schedule(instance, 0.5);
+    auto result = solver.solve(instance, {.eps = 0.5});
     benchmark::DoNotOptimize(result.makespan);
   }
 }

@@ -1,18 +1,22 @@
 // E2 (Theorem 1, running time): the EPTAS must scale polynomially in n at
 // fixed eps (the f(1/eps) * poly(n) form). The n-sweep benchmarks the
-// poly(n) part; the eps-sweep exposes the f(1/eps) blow-up.
+// poly(n) part; the eps-sweep exposes the f(1/eps) blow-up. Driven through
+// the unified bagsched::api layer; the EPTAS internals are read back from
+// the result telemetry.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
+#include "api/api.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 
 namespace {
 
-using bagsched::eptas::eptas_schedule;
+namespace api = bagsched::api;
+
+const api::Solver& eptas() {
+  return api::SolverRegistry::global().resolve("eptas");
+}
 
 void print_scaling_table() {
   bagsched::util::Table table(
@@ -27,16 +31,15 @@ void print_scaling_table() {
                                 .max_jobs_per_machine = 6,
                                 .target = 1.0,
                                 .seed = 7});
-    bagsched::util::Stopwatch timer;
-    const auto result = eptas_schedule(planted.instance, 0.5);
+    const auto result = eptas().solve(planted.instance, {.eps = 0.5});
     table.row()
         .add("n")
         .add(planted.instance.num_jobs())
         .add(m)
         .add(0.5, 3)
-        .add(timer.seconds(), 4)
-        .add(result.stats.guesses_tried)
-        .add(result.stats.columns);
+        .add(result.wall_seconds, 4)
+        .add(api::stat_int(result.stats, "guesses"))
+        .add(api::stat_int(result.stats, "columns"));
   }
   // eps-sweep at fixed shape.
   for (const double eps : {0.8, 0.6, 0.5, 0.4, 1.0 / 3.0}) {
@@ -47,16 +50,15 @@ void print_scaling_table() {
                                 .max_jobs_per_machine = 6,
                                 .target = 1.0,
                                 .seed = 7});
-    bagsched::util::Stopwatch timer;
-    const auto result = eptas_schedule(planted.instance, eps);
+    const auto result = eptas().solve(planted.instance, {.eps = eps});
     table.row()
         .add("eps")
         .add(planted.instance.num_jobs())
         .add(8)
         .add(eps, 3)
-        .add(timer.seconds(), 4)
-        .add(result.stats.guesses_tried)
-        .add(result.stats.columns);
+        .add(result.wall_seconds, 4)
+        .add(api::stat_int(result.stats, "guesses"))
+        .add(api::stat_int(result.stats, "columns"));
   }
   std::cout << "\n=== E2 / Theorem 1: runtime scaling ===\n";
   table.write_aligned(std::cout);
@@ -74,7 +76,7 @@ void BM_EptasVsN(benchmark::State& state) {
                               .target = 1.0,
                               .seed = 7});
   for (auto _ : state) {
-    auto result = eptas_schedule(planted.instance, 0.5);
+    auto result = eptas().solve(planted.instance, {.eps = 0.5});
     benchmark::DoNotOptimize(result.makespan);
   }
   state.counters["n"] = planted.instance.num_jobs();
@@ -92,7 +94,7 @@ void BM_EptasVsEps(benchmark::State& state) {
                               .target = 1.0,
                               .seed = 7});
   for (auto _ : state) {
-    auto result = eptas_schedule(planted.instance, eps);
+    auto result = eptas().solve(planted.instance, {.eps = eps});
     benchmark::DoNotOptimize(result.makespan);
   }
 }

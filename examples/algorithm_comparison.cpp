@@ -2,20 +2,13 @@
 //
 //   $ ./algorithm_comparison [n] [m] [seeds]
 //
-// Runs every scheduler in the library over every generator family and
-// prints one ratio table — a miniature of the E9 benchmark that users can
-// point at their own parameters.
+// Runs every bag-respecting solver in the registry over every generator
+// family and prints one ratio table — a miniature of the E9 benchmark that
+// users can point at their own parameters.
 #include <cstdlib>
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
-#include "model/lower_bounds.h"
-#include "sched/bag_lpt.h"
-#include "sched/exact.h"
-#include "sched/greedy_bags.h"
-#include "sched/local_search.h"
-#include "sched/multifit.h"
+#include "api/api.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
@@ -28,40 +21,40 @@ int main(int argc, char** argv) {
   std::cout << "comparing schedulers: n=" << n << " m=" << m
             << " seeds=" << seeds << " eps=0.5\n\n";
 
-  util::Table table({"family", "greedy", "bag_lpt", "multifit", "local",
-                     "eptas", "exact*"});
-  for (const auto& family : gen::family_names()) {
-    double greedy = 0, baglpt = 0, mf = 0, local = 0, ep = 0, exact = 0;
-    int exact_solved = 0;
+  // Every bag-respecting solver; "exact" only when small enough to finish.
+  std::vector<std::string> solvers;
+  for (const auto* solver : api::SolverRegistry::global().all()) {
+    const auto& info = solver->info();
+    if (!info.respects_bags) continue;
+    if (info.name == "exact" && n > 20) continue;
+    if (info.name == "milp" && n * m > 150) continue;
+    solvers.push_back(info.name);
+  }
+
+  std::vector<std::string> header{"family"};
+  header.insert(header.end(), solvers.begin(), solvers.end());
+  util::Table table(header);
+
+  for (const auto& family : api::instance_families()) {
+    table.row().add(family);
+    std::vector<double> ratio(solvers.size(), 0.0);
     for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
          ++seed) {
-      const model::Instance instance = gen::by_name(family, n, m, seed);
+      api::SolveOptions options;
+      options.seed = seed;
+      const model::Instance instance =
+          api::make_instance(family, n, m, options);
       const double lower = model::combined_lower_bound(instance);
-      greedy += sched::greedy_bags(instance).makespan(instance) / lower;
-      baglpt += sched::bag_lpt(instance).makespan(instance) / lower;
-      mf += sched::multifit(instance).makespan(instance) / lower;
-      local += sched::local_search(instance).makespan(instance) / lower;
-      ep += eptas::eptas_schedule(instance, 0.5).makespan / lower;
-      if (n <= 20) {
-        const auto result = sched::solve_exact(instance);
-        if (result.proven_optimal) {
-          exact += result.makespan / lower;
-          ++exact_solved;
-        }
+      for (std::size_t s = 0; s < solvers.size(); ++s) {
+        const auto result = api::solve(solvers[s], instance, options);
+        ratio[s] += result.makespan / lower;
       }
     }
-    table.row()
-        .add(family)
-        .add(greedy / seeds, 4)
-        .add(baglpt / seeds, 4)
-        .add(mf / seeds, 4)
-        .add(local / seeds, 4)
-        .add(ep / seeds, 4)
-        .add(exact_solved > 0 ? std::to_string(exact / exact_solved)
-                              : std::string("-"));
+    for (const double sum : ratio) table.add(sum / seeds, 4);
   }
   table.write_aligned(std::cout);
   std::cout << "\nall values are makespan / combined-lower-bound, averaged "
-               "over seeds.\nexact* only runs when n <= 20.\n";
+               "over seeds.\nexact runs only when n <= 20, milp when "
+               "n*m <= 150.\n";
   return 0;
 }

@@ -6,15 +6,13 @@
 // the same pipeline must not share an agent (they hold conflicting locks on
 // the pipeline's cache volume) — each pipeline is a bag. The example builds
 // a realistic farm workload (or loads one from the bagsched text format),
-// schedules it with the EPTAS, saves the instance and schedule to disk, and
-// prints a utilization report.
+// schedules it through the unified API, saves the instance and schedule to
+// disk, and prints a utilization report.
 #include <fstream>
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "model/instance.h"
+#include "api/api.h"
 #include "model/io.h"
-#include "model/lower_bounds.h"
 #include "util/csv.h"
 #include "util/prng.h"
 
@@ -54,13 +52,18 @@ int main(int argc, char** argv) {
       argc > 1 ? model::load_instance(argv[1]) : make_farm_workload();
   std::cout << "build farm: " << model::describe(instance) << "\n";
 
-  const auto result = eptas::eptas_schedule(instance, 0.25);
-  model::require_valid(instance, result.schedule, "build_farm");
+  const auto result = api::solve("eptas", instance, {.eps = 0.25});
+  if (!result.ok() || !result.schedule_feasible) {
+    std::cerr << "error: " << (result.error.empty() ? "no feasible schedule"
+                                                    : result.error)
+              << "\n";
+    return 1;
+  }
 
-  const double lower = model::combined_lower_bound(instance);
   std::cout << "wall-clock (makespan): " << result.makespan
-            << " min, lower bound " << lower << " min, gap "
-            << 100.0 * (result.makespan / lower - 1.0) << "%\n\n";
+            << " min, lower bound " << result.lower_bound << " min, gap "
+            << 100.0 * result.optimality_gap << "% (solved in "
+            << result.wall_seconds << " s)\n\n";
 
   // Per-agent utilization report.
   util::Table table({"agent", "jobs", "load_min", "utilization"});

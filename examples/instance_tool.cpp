@@ -1,20 +1,21 @@
 // instance_tool — command-line front end for the library.
 //
 //   $ ./instance_tool gen <family> <n> <m> <seed> <out.instance>
-//   $ ./instance_tool solve <in.instance> <eps> [out.schedule]
+//   $ ./instance_tool solve <in.instance> <eps> [solver] [out.schedule]
+//   $ ./instance_tool portfolio <in.instance> <eps>
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
+//   $ ./instance_tool solvers
 //
-// Covers the full user workflow: generate a workload, schedule it with the
-// EPTAS, validate any schedule against an instance, and inspect bounds.
+// Covers the full user workflow through the unified API: generate a
+// workload, schedule it with any registered solver (or a portfolio of
+// them), validate any schedule against an instance, and inspect bounds.
 #include <fstream>
 #include <iostream>
 #include <string>
 
-#include "eptas/eptas.h"
-#include "gen/generators.h"
+#include "api/api.h"
 #include "model/io.h"
-#include "model/lower_bounds.h"
 
 namespace {
 
@@ -22,15 +23,29 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  instance_tool gen <family> <n> <m> <seed> <out.instance>\n"
-      "  instance_tool solve <in.instance> <eps> [out.schedule]\n"
+      "  instance_tool solve <in.instance> <eps> [solver] [out.schedule]\n"
+      "  instance_tool portfolio <in.instance> <eps>\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
+      "  instance_tool solvers\n"
       "families:";
-  for (const auto& family : bagsched::gen::family_names()) {
+  for (const auto& family : bagsched::api::instance_families()) {
     std::cerr << " " << family;
+  }
+  std::cerr << "\nsolvers:";
+  for (const auto& name : bagsched::api::SolverRegistry::global().names()) {
+    std::cerr << " " << name;
   }
   std::cerr << "\n";
   return 2;
+}
+
+void print_result(const bagsched::api::SolveResult& result) {
+  std::cout << result.solver << ": " << bagsched::api::to_string(result.status)
+            << ", makespan " << result.makespan << " (lower bound "
+            << result.lower_bound << ", gap "
+            << 100.0 * result.optimality_gap << "%, "
+            << result.wall_seconds << " s)\n";
 }
 
 }  // namespace
@@ -41,29 +56,46 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "gen" && argc == 7) {
-      const auto instance =
-          gen::by_name(argv[2], std::stoi(argv[3]), std::stoi(argv[4]),
-                       std::stoull(argv[5]));
+      api::SolveOptions options;
+      options.seed = std::stoull(argv[5]);
+      const auto instance = api::make_instance(
+          argv[2], std::stoi(argv[3]), std::stoi(argv[4]), options);
       model::save_instance(argv[6], instance);
       std::cout << "wrote " << argv[6] << ": " << model::describe(instance)
                 << "\n";
       return 0;
     }
-    if (command == "solve" && (argc == 4 || argc == 5)) {
+    if (command == "solve" && argc >= 4 && argc <= 6) {
       const auto instance = model::load_instance(argv[2]);
-      const double eps = std::stod(argv[3]);
-      const auto result = eptas::eptas_schedule(instance, eps);
-      model::require_valid(instance, result.schedule, "instance_tool");
-      std::cout << "makespan " << result.makespan << " (lower bound "
-                << model::combined_lower_bound(instance) << ", "
-                << result.stats.guesses_tried << " guesses, "
-                << (result.stats.used_fallback ? "heuristic" : "pipeline")
-                << " result)\n";
-      if (argc == 5) {
-        std::ofstream out(argv[4]);
-        model::write_schedule(out, result.schedule);
-        std::cout << "wrote " << argv[4] << "\n";
+      api::SolveOptions options;
+      options.eps = std::stod(argv[3]);
+      const std::string solver = argc >= 5 ? argv[4] : "eptas";
+      const auto result = api::solve(solver, instance, options);
+      if (!result.ok()) {
+        std::cerr << "error: " << result.error << "\n";
+        return 1;
       }
+      print_result(result);
+      if (argc == 6) {
+        std::ofstream out(argv[5]);
+        model::write_schedule(out, result.schedule);
+        std::cout << "wrote " << argv[5] << "\n";
+      }
+      return result.schedule_feasible ? 0 : 1;
+    }
+    if (command == "portfolio" && argc == 4) {
+      const auto instance = model::load_instance(argv[2]);
+      api::SolveOptions options;
+      options.eps = std::stod(argv[3]);
+      const auto race = api::Portfolio().solve(instance, options);
+      for (const auto& run : race.runs) print_result(run);
+      if (!race.ok()) {
+        std::cerr << "error: " << race.best.error << "\n";
+        return 1;
+      }
+      std::cout << "winner: " << race.best.solver << " at "
+                << race.best.makespan << " (" << race.cancelled_count
+                << " cancelled)\n";
       return 0;
     }
     if (command == "check" && argc == 4) {
@@ -90,6 +122,15 @@ int main(int argc, char** argv) {
                 << model::pairing_lower_bound(instance) << "\ncombined      "
                 << model::combined_lower_bound(instance) << "\nfeasible      "
                 << (instance.is_feasible() ? "yes" : "no") << "\n";
+      return 0;
+    }
+    if (command == "solvers" && argc == 2) {
+      for (const auto* solver : api::SolverRegistry::global().all()) {
+        const auto& info = solver->info();
+        std::cout << info.name << "\t" << api::to_string(info.guarantee)
+                  << "\t" << info.guarantee_text << "\t(" << info.typical_scale
+                  << ")\t" << info.summary << "\n";
+      }
       return 0;
     }
   } catch (const std::exception& error) {

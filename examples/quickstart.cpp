@@ -1,15 +1,13 @@
-// Quickstart: build an instance, run the EPTAS, inspect the schedule.
+// Quickstart: build an instance, solve it through the unified API, inspect
+// the schedule.
 //
 //   $ ./quickstart
 //
-// Walks through the three core types (Instance, Schedule, EptasResult) on a
-// small hand-made workload.
+// Walks through the core types (Instance, SolverRegistry, SolveResult,
+// Portfolio) on a small hand-made workload.
 #include <iostream>
 
-#include "eptas/eptas.h"
-#include "model/instance.h"
-#include "model/lower_bounds.h"
-#include "model/schedule.h"
+#include "api/api.h"
 
 int main() {
   using namespace bagsched;
@@ -27,12 +25,16 @@ int main() {
   std::cout << "lower bound on OPT: "
             << model::combined_lower_bound(instance) << "\n\n";
 
-  // Run the EPTAS with approximation parameter eps = 1/3.
-  const auto result = eptas::eptas_schedule(instance, 1.0 / 3.0);
+  // Solve with the EPTAS at eps = 1/3 through the registry.
+  const auto& eptas = api::SolverRegistry::global().resolve("eptas");
+  const auto result = eptas.solve(instance, {.eps = 1.0 / 3.0});
 
-  std::cout << "makespan: " << result.makespan << "\n";
-  std::cout << "guesses tried: " << result.stats.guesses_tried
-            << ", pattern columns: " << result.stats.columns << "\n\n";
+  std::cout << "status: " << api::to_string(result.status)
+            << ", makespan: " << result.makespan
+            << " (gap <= " << 100.0 * result.optimality_gap << "%)\n";
+  std::cout << "guesses tried: " << api::stat_int(result.stats, "guesses")
+            << ", pattern columns: "
+            << api::stat_int(result.stats, "columns") << "\n\n";
 
   // Print the schedule machine by machine.
   const auto per_machine = result.schedule.machine_jobs();
@@ -46,10 +48,14 @@ int main() {
     }
     std::cout << "  -> load " << load << "\n";
   }
+  std::cout << "\nschedule valid: "
+            << (result.schedule_feasible ? "yes" : "no") << "\n\n";
 
-  // The validator confirms completeness and the bag-constraints.
-  const auto validation = model::validate(instance, result.schedule);
-  std::cout << "\nschedule valid: " << (validation.ok() ? "yes" : "no")
-            << "\n";
-  return validation.ok() ? 0 : 1;
+  // Or race a portfolio of solvers and keep the best feasible schedule.
+  api::Portfolio portfolio;  // eptas + local-search + multifit + ...
+  const auto race = portfolio.solve(instance, {.eps = 1.0 / 3.0});
+  std::cout << "portfolio best: " << race.best.solver << " at makespan "
+            << race.best.makespan << " (" << race.runs.size()
+            << " solvers, " << race.cancelled_count << " cancelled)\n";
+  return result.schedule_feasible && race.ok() ? 0 : 1;
 }

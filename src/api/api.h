@@ -1,0 +1,50 @@
+// Umbrella header for the bagsched::api layer — the one include that
+// examples, benchmarks and external callers need.
+//
+//   #include "api/api.h"
+//
+//   const auto instance = bagsched::api::make_instance("uniform", 200, 16,
+//                                                      {.seed = 7});
+//   const auto& eptas = bagsched::api::SolverRegistry::global()
+//                           .resolve("eptas");
+//   const auto result = eptas.solve(instance, {.eps = 0.25});
+//
+//   bagsched::api::Portfolio portfolio;          // default solver mix
+//   const auto run = portfolio.solve(instance);  // best of the portfolio
+#pragma once
+
+#include <string>
+
+#include "api/portfolio.h"
+#include "api/registry.h"
+#include "api/solver.h"
+#include "api/telemetry.h"
+#include "gen/generators.h"
+#include "model/instance.h"
+#include "model/lower_bounds.h"
+#include "model/schedule.h"
+
+namespace bagsched::api {
+
+/// Seeded workload generation through the unified options: the
+/// SolveOptions::seed that drives the solvers also drives the generator,
+/// so a (family, n, m, options) tuple reproduces bit-identically.
+inline model::Instance make_instance(const std::string& family, int num_jobs,
+                                     int num_machines,
+                                     const SolveOptions& options = {}) {
+  return gen::by_name(family, num_jobs, num_machines, options.seed);
+}
+
+/// Generator family names accepted by make_instance.
+inline std::vector<std::string> instance_families() {
+  return gen::family_names();
+}
+
+/// Convenience: resolve-and-solve in one call.
+inline SolveResult solve(const std::string& solver,
+                         const model::Instance& instance,
+                         const SolveOptions& options = {}) {
+  return SolverRegistry::global().resolve(solver).solve(instance, options);
+}
+
+}  // namespace bagsched::api

@@ -1,0 +1,116 @@
+#include "api/portfolio.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "api/registry.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace bagsched::api {
+
+namespace {
+
+/// A finished result that certifies (near-)optimality: further search
+/// cannot beat it meaningfully, so the stragglers get cancelled.
+bool is_certificate(const Solver& solver, const SolveResult& result,
+                    const PortfolioOptions& options) {
+  if (!result.ok() || !result.schedule_feasible) return false;
+  if (result.proven_optimal) return true;
+  if (options.eptas_certificate &&
+      solver.info().guarantee == Guarantee::Eptas &&
+      stat_bool(result.stats, "pipeline_succeeded") &&
+      !stat_bool(result.stats, "used_fallback")) {
+    return true;
+  }
+  return false;
+}
+
+/// Lexicographic quality: feasibility first, then makespan, then proof.
+bool better(const SolveResult& a, const SolveResult& b) {
+  const bool a_usable = a.ok() && a.schedule_feasible;
+  const bool b_usable = b.ok() && b.schedule_feasible;
+  if (a_usable != b_usable) return a_usable;
+  if (!a_usable) return false;
+  if (a.makespan != b.makespan) return a.makespan < b.makespan;
+  return a.proven_optimal && !b.proven_optimal;
+}
+
+}  // namespace
+
+Portfolio::Portfolio()
+    : Portfolio({"eptas", "local-search", "multifit", "bag-lpt",
+                 "greedy-bags"}) {}
+
+Portfolio::Portfolio(std::vector<std::string> solvers,
+                     PortfolioOptions portfolio_options)
+    : solvers_(std::move(solvers)),
+      portfolio_options_(portfolio_options) {
+  // Fail fast on unknown names (resolve throws with the known-name list).
+  for (const auto& name : solvers_) {
+    SolverRegistry::global().resolve(name);
+  }
+}
+
+PortfolioResult Portfolio::solve(const model::Instance& instance,
+                                 const SolveOptions& options) const {
+  util::Stopwatch timer;
+  PortfolioResult portfolio_result;
+  portfolio_result.runs.resize(solvers_.size());
+  if (solvers_.empty()) {
+    portfolio_result.best.error = "empty portfolio";
+    return portfolio_result;
+  }
+
+  // Shared token chained onto the caller's: certificate cancellation and
+  // external cancellation both reach every member through one pointer.
+  util::CancellationToken shared_cancel(options.cancel);
+
+  std::mutex mutex;  // guards runs[] writes and the certificate check
+
+  const std::size_t threads =
+      portfolio_options_.num_threads != 0
+          ? portfolio_options_.num_threads
+          : std::min<std::size_t>(
+                solvers_.size(),
+                std::max<std::size_t>(
+                    1, std::thread::hardware_concurrency()));
+  util::ThreadPool pool(threads);
+  pool.parallel_for(solvers_.size(), [&](std::size_t index) {
+    const Solver& solver = SolverRegistry::global().resolve(solvers_[index]);
+    SolveOptions member_options = options;
+    member_options.cancel = &shared_cancel;
+    SolveResult result = solver.solve(instance, member_options);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (portfolio_options_.cancel_on_certificate &&
+        is_certificate(solver, result, portfolio_options_)) {
+      shared_cancel.request_stop();
+    }
+    portfolio_result.runs[index] = std::move(result);
+  });
+
+  for (const auto& run : portfolio_result.runs) {
+    if (run.cancelled) ++portfolio_result.cancelled_count;
+    if (better(run, portfolio_result.best)) portfolio_result.best = run;
+  }
+  if (!portfolio_result.best.ok() && !portfolio_result.runs.empty()) {
+    // No usable schedule: surface a run that explains why — the first
+    // structured error if any (all members share the same instance, so all
+    // infeasibility diagnostics agree), otherwise any run, so an
+    // all-cancelled portfolio reports Cancelled rather than a
+    // default-constructed Infeasible with no message.
+    const SolveResult* fallback = &portfolio_result.runs.front();
+    for (const auto& run : portfolio_result.runs) {
+      if (!run.error.empty()) {
+        fallback = &run;
+        break;
+      }
+    }
+    portfolio_result.best = *fallback;
+  }
+  portfolio_result.wall_seconds = timer.seconds();
+  return portfolio_result;
+}
+
+}  // namespace bagsched::api

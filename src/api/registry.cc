@@ -1,0 +1,52 @@
+#include "api/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "api/solvers.h"
+
+namespace bagsched::api {
+
+SolverRegistry::SolverRegistry() : solvers_(make_builtin_solvers()) {}
+
+const SolverRegistry& SolverRegistry::global() {
+  static const SolverRegistry registry;
+  return registry;
+}
+
+const Solver* SolverRegistry::find(const std::string& name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::resolve(const std::string& name) const {
+  if (const Solver* solver = find(name)) return *solver;
+  std::ostringstream message;
+  message << "unknown solver \"" << name << "\"; registered solvers:";
+  for (const auto& solver : solvers_) {
+    message << " " << solver->name();
+  }
+  throw std::invalid_argument(message.str());
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(solvers_.size());
+  for (const auto& solver : solvers_) {
+    result.push_back(solver->name());
+  }
+  return result;
+}
+
+std::vector<const Solver*> SolverRegistry::all() const {
+  std::vector<const Solver*> result;
+  result.reserve(solvers_.size());
+  for (const auto& solver : solvers_) {
+    result.push_back(solver.get());
+  }
+  return result;
+}
+
+}  // namespace bagsched::api

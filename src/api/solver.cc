@@ -1,0 +1,117 @@
+#include "api/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/lower_bounds.h"
+#include "util/stopwatch.h"
+
+namespace bagsched::api {
+
+std::string to_string(const TelemetryValue& value) {
+  if (const auto* v = std::get_if<long long>(&value)) {
+    return std::to_string(*v);
+  }
+  if (const auto* v = std::get_if<double>(&value)) {
+    std::ostringstream out;
+    out << *v;
+    return out.str();
+  }
+  if (const auto* v = std::get_if<bool>(&value)) {
+    return *v ? "true" : "false";
+  }
+  return std::get<std::string>(value);
+}
+
+const char* to_string(Guarantee guarantee) {
+  switch (guarantee) {
+    case Guarantee::Exact: return "exact";
+    case Guarantee::Eptas: return "eptas";
+    case Guarantee::Heuristic: return "heuristic";
+    case Guarantee::Reference: return "reference";
+  }
+  return "?";
+}
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Feasible: return "feasible";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+SolveResult Solver::solve(const model::Instance& instance,
+                          const SolveOptions& options) const {
+  SolveResult result;
+  result.solver = info_.name;
+
+  // Uniform validation, exactly once: malformed instances (negative sizes,
+  // bag ids out of range) and bag-infeasible ones (some bag larger than m)
+  // both come back as structured errors — no solver throws, none silently
+  // emits an invalid schedule.
+  try {
+    instance.validate();
+  } catch (const std::exception& error) {
+    result.status = SolveStatus::Infeasible;
+    result.error = std::string("invalid instance: ") + error.what();
+    return result;
+  }
+  if (!instance.is_feasible()) {
+    std::ostringstream message;
+    message << "infeasible instance: a bag has " << instance.max_bag_size()
+            << " jobs but only " << instance.num_machines()
+            << " machines exist";
+    result.status = SolveStatus::Infeasible;
+    result.error = message.str();
+    return result;
+  }
+  if (util::stop_requested(options.cancel)) {
+    result.status = SolveStatus::Cancelled;
+    result.cancelled = true;
+    return result;
+  }
+
+  result.lower_bound = model::combined_lower_bound(instance);
+
+  // Adapters downgrade to Infeasible/Cancelled explicitly when they fail;
+  // anything else is re-classified below from the schedule itself.
+  result.status = SolveStatus::Feasible;
+
+  util::Stopwatch timer;
+  run(instance, options, result);
+  result.wall_seconds = timer.seconds();
+
+  if (result.status == SolveStatus::Infeasible ||
+      result.status == SolveStatus::Cancelled) {
+    return result;
+  }
+
+  result.makespan = result.schedule.makespan(instance);
+  const auto validation = model::validate(instance, result.schedule);
+  result.schedule_feasible = validation.ok();
+
+  // A makespan matching the lower bound is a proof of optimality even when
+  // the algorithm itself carries no certificate.
+  if (result.schedule_feasible &&
+      result.makespan <= result.lower_bound * (1.0 + 1e-12) + 1e-12) {
+    result.proven_optimal = true;
+  }
+  if (result.proven_optimal) {
+    result.status = SolveStatus::Optimal;
+    result.optimality_gap = 0.0;
+  } else {
+    result.status = SolveStatus::Feasible;
+    result.optimality_gap =
+        result.lower_bound > 0.0
+            ? result.makespan / result.lower_bound - 1.0
+            : 0.0;
+  }
+  return result;
+}
+
+}  // namespace bagsched::api

@@ -1,0 +1,130 @@
+// The unified solver surface: every scheduling algorithm in the library is
+// reachable through Solver::solve(instance, options) -> SolveResult.
+//
+// Adapters wrap the legacy entry points (eptas::eptas_schedule,
+// sched::solve_exact, the heuristics, the assignment MILP) behind one
+// contract:
+//   * the instance is validated exactly once, up front; malformed or
+//     bag-infeasible instances yield a structured SolveStatus::Infeasible
+//     result instead of a throw from one solver and garbage from another;
+//   * options (eps, budgets, time limit, seed, cancellation) plumb into the
+//     native option structs;
+//   * results carry the schedule, makespan, lower bound, optimality gap,
+//     wall time and per-solver telemetry in one shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/telemetry.h"
+#include "eptas/config.h"
+#include "model/instance.h"
+#include "model/schedule.h"
+#include "util/cancellation.h"
+
+namespace bagsched::api {
+
+/// What a solver promises about its output.
+enum class Guarantee {
+  Exact,      ///< proven optimal when the budget allows
+  Eptas,      ///< (1 + eps) * OPT when the pipeline certifies
+  Heuristic,  ///< feasible, no a-priori ratio
+  Reference,  ///< ignores the bag-constraints; lower-bound reference only
+};
+
+const char* to_string(Guarantee guarantee);
+
+/// Enumerable metadata describing a registered solver.
+struct SolverInfo {
+  std::string name;         ///< registry key, e.g. "eptas"
+  std::string summary;      ///< one-line description
+  Guarantee guarantee = Guarantee::Heuristic;
+  bool exact = false;         ///< can prove optimality
+  bool respects_bags = true;  ///< output satisfies the bag-constraints
+  std::string guarantee_text;  ///< e.g. "(1+eps)*OPT", "optimal"
+  std::string typical_scale;   ///< e.g. "n <= 24", "n <= 1e6"
+};
+
+/// Options shared by every solver; each adapter reads the fields that apply
+/// to it and ignores the rest.
+struct SolveOptions {
+  /// EPTAS approximation parameter in (0, 1).
+  double eps = 0.5;
+  /// Wall-clock budget for exact search / MILP (seconds).
+  double time_limit_seconds = 30.0;
+  /// Node budget for the exact branch-and-bound.
+  long long max_nodes = 50'000'000;
+  /// Accepted-move budget for local search.
+  long long max_moves = 200'000;
+  /// Binary-search refinements for multifit.
+  int multifit_iterations = 24;
+  /// PRNG seed: reaches gen::generators (via make_instance) and the
+  /// local-search scan order so runs are reproducible.
+  std::uint64_t seed = 1;
+  /// Large-job threshold for the "greedy-stack" adversarial baseline.
+  double stack_threshold = 0.5;
+  /// Cooperative cancellation, polled inside the solver hot loops.
+  const util::CancellationToken* cancel = nullptr;
+  /// Advanced EPTAS tuning (constants profile, caps, rescue, MILP budgets).
+  /// time_limit_seconds and cancel override the nested MILP settings.
+  eptas::EptasConfig eptas;
+};
+
+enum class SolveStatus {
+  Optimal,     ///< schedule proven optimal (gap 0)
+  Feasible,    ///< feasible schedule, optimality not proven
+  Infeasible,  ///< instance malformed or no feasible schedule exists
+  Cancelled,   ///< cancelled before any schedule was produced
+};
+
+const char* to_string(SolveStatus status);
+
+struct SolveResult {
+  std::string solver;  ///< registry name of the producing solver
+  SolveStatus status = SolveStatus::Infeasible;
+  model::Schedule schedule;
+  double makespan = 0.0;
+  double lower_bound = 0.0;     ///< combined lower bound on OPT
+  double optimality_gap = 0.0;  ///< makespan / max(lower bound, proven) - 1
+  bool proven_optimal = false;
+  /// Schedule passes model::validate (complete + bag-feasible). False for
+  /// the bag-ignoring reference solvers even when status is Feasible.
+  bool schedule_feasible = false;
+  bool cancelled = false;  ///< cancellation observed (result may still hold
+                           ///< the best incumbent found before the stop)
+  double wall_seconds = 0.0;
+  std::string error;  ///< diagnostics when status == Infeasible
+  Telemetry stats;    ///< per-solver typed telemetry
+
+  /// True when the result carries a usable schedule.
+  bool ok() const {
+    return status == SolveStatus::Optimal ||
+           status == SolveStatus::Feasible;
+  }
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  const SolverInfo& info() const { return info_; }
+  const std::string& name() const { return info_.name; }
+
+  /// Validates the instance once, runs the algorithm, post-fills the shared
+  /// result fields (lower bound, gap, wall time, schedule feasibility).
+  /// Never throws on infeasible input; returns a structured error instead.
+  SolveResult solve(const model::Instance& instance,
+                    const SolveOptions& options = {}) const;
+
+ protected:
+  explicit Solver(SolverInfo info) : info_(std::move(info)) {}
+
+  /// Algorithm body; the instance has already been validated.
+  virtual void run(const model::Instance& instance,
+                   const SolveOptions& options, SolveResult& result) const = 0;
+
+ private:
+  SolverInfo info_;
+};
+
+}  // namespace bagsched::api

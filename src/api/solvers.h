@@ -1,0 +1,14 @@
+// Internal factory producing one instance of every built-in solver adapter.
+// Used by SolverRegistry; callers resolve solvers through the registry.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/solver.h"
+
+namespace bagsched::api {
+
+std::vector<std::unique_ptr<Solver>> make_builtin_solvers();
+
+}  // namespace bagsched::api

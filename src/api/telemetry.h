@@ -1,0 +1,65 @@
+// Typed key/value telemetry attached to every SolveResult.
+//
+// Each solver adapter reports its native statistics (EptasStats fields, B&B
+// node counts, local-search moves, ...) under stable string keys so callers
+// can log, tabulate or assert on them without knowing the solver's concrete
+// result struct.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+
+namespace bagsched::api {
+
+using TelemetryValue = std::variant<long long, double, bool, std::string>;
+using Telemetry = std::map<std::string, TelemetryValue>;
+
+/// Integer statistic, or `fallback` when absent / differently typed.
+inline long long stat_int(const Telemetry& stats, const std::string& key,
+                          long long fallback = 0) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return fallback;
+  if (const auto* value = std::get_if<long long>(&it->second)) return *value;
+  if (const auto* value = std::get_if<double>(&it->second)) {
+    return static_cast<long long>(*value);
+  }
+  return fallback;
+}
+
+/// Real-valued statistic, or `fallback` when absent / differently typed.
+inline double stat_real(const Telemetry& stats, const std::string& key,
+                        double fallback = 0.0) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return fallback;
+  if (const auto* value = std::get_if<double>(&it->second)) return *value;
+  if (const auto* value = std::get_if<long long>(&it->second)) {
+    return static_cast<double>(*value);
+  }
+  return fallback;
+}
+
+/// Boolean statistic, or `fallback` when absent / differently typed.
+inline bool stat_bool(const Telemetry& stats, const std::string& key,
+                      bool fallback = false) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return fallback;
+  if (const auto* value = std::get_if<bool>(&it->second)) return *value;
+  return fallback;
+}
+
+/// String statistic, or `fallback` when absent / differently typed.
+inline std::string stat_str(const Telemetry& stats, const std::string& key,
+                            std::string fallback = {}) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return fallback;
+  if (const auto* value = std::get_if<std::string>(&it->second)) {
+    return *value;
+  }
+  return fallback;
+}
+
+/// Human-readable rendering for logs and tables.
+std::string to_string(const TelemetryValue& value);
+
+}  // namespace bagsched::api

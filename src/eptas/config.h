@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "milp/branch_and_bound.h"
+#include "util/cancellation.h"
 
 namespace bagsched::eptas {
 
@@ -44,6 +45,11 @@ struct EptasConfig {
   /// Binary-search granularity: consecutive makespan guesses differ by a
   /// factor (1 + eps * guess_step_fraction).
   double guess_step_fraction = 0.5;
+
+  /// Cooperative cancellation: checked between makespan guesses and inside
+  /// the fallback local search; eptas_schedule forwards it to milp.cancel
+  /// when that is unset, so the per-guess MILP aborts promptly too.
+  const util::CancellationToken* cancel = nullptr;
 
   milp::MilpOptions milp;
 

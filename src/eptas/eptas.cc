@@ -120,16 +120,25 @@ EptasResult eptas_schedule(const Instance& instance, double eps,
     return result;
   }
 
+  // Propagate the cancellation token into the per-guess MILP when the
+  // caller did not wire it explicitly.
+  EptasConfig effective = config;
+  if (effective.milp.cancel == nullptr) {
+    effective.milp.cancel = effective.cancel;
+  }
+
   // Bounds for the dual-approximation search.
   const double lower = model::combined_lower_bound(instance);
   Schedule fallback = sched::greedy_bags(instance);
-  sched::improve(instance, fallback, sched::LocalSearchOptions{20000});
+  sched::improve(instance, fallback,
+                 sched::LocalSearchOptions{.max_moves = 20000,
+                                           .cancel = effective.cancel});
   const double upper = fallback.makespan(instance);
   result.stats.lower_bound = lower;
   result.stats.greedy_upper = upper;
 
   // Guess grid: lower * (1 + eps*step)^i, i = 0 .. covers upper.
-  const double step = 1.0 + eps * config.guess_step_fraction;
+  const double step = 1.0 + eps * effective.guess_step_fraction;
   int num_guesses = 1;
   while (lower * std::pow(step, num_guesses - 1) < upper - 1e-12) {
     ++num_guesses;
@@ -144,12 +153,13 @@ EptasResult eptas_schedule(const Instance& instance, double eps,
   std::optional<Schedule> best;
   EptasStats best_stats;
   while (lo < hi) {
+    if (util::stop_requested(effective.cancel)) break;
     const int mid = lo + (hi - lo) / 2;
     const double guess = lower * std::pow(step, mid);
     EptasStats guess_stats;
     ++result.stats.guesses_tried;
     auto schedule =
-        try_makespan_guess(instance, eps, guess, config, &guess_stats);
+        try_makespan_guess(instance, eps, guess, effective, &guess_stats);
     if (schedule) {
       best = std::move(schedule);
       best_stats = guess_stats;

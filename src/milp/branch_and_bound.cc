@@ -74,7 +74,8 @@ MilpResult solve(const lp::Model& root_model,
 
   while (!open.empty()) {
     if (result.nodes_explored >= options.max_nodes ||
-        timer.seconds() > options.time_limit_seconds) {
+        timer.seconds() > options.time_limit_seconds ||
+        util::stop_requested(options.cancel)) {
       truncated = true;
       break;
     }

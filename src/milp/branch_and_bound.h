@@ -12,6 +12,7 @@
 
 #include "lp/model.h"
 #include "lp/simplex.h"
+#include "util/cancellation.h"
 
 namespace bagsched::milp {
 
@@ -28,6 +29,8 @@ struct MilpOptions {
   double integrality_tolerance = 1e-6;
   /// Relative gap at which the search stops with status Optimal.
   double relative_gap = 1e-9;
+  /// Cooperative cancellation, polled once per node.
+  const util::CancellationToken* cancel = nullptr;
   lp::SimplexOptions lp_options;
 };
 

@@ -63,6 +63,7 @@ class Solver {
     result.makespan = best_makespan_;
     result.nodes = nodes_;
     result.proven_optimal = !aborted_;
+    result.cancelled = cancelled_;
     return result;
   }
 
@@ -73,6 +74,11 @@ class Solver {
         (nodes_ % 16384 == 0 &&
          timer_.seconds() > options_.time_limit_seconds)) {
       aborted_ = true;
+      return;
+    }
+    if (nodes_ % 1024 == 0 && util::stop_requested(options_.cancel)) {
+      aborted_ = true;
+      cancelled_ = true;
       return;
     }
     if (depth == order_.size()) {
@@ -146,6 +152,7 @@ class Solver {
   double lower_bound_ = 0.0;
   long long nodes_ = 0;
   bool aborted_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace

@@ -10,12 +10,15 @@
 
 #include "model/instance.h"
 #include "model/schedule.h"
+#include "util/cancellation.h"
 
 namespace bagsched::sched {
 
 struct ExactOptions {
   long long max_nodes = 50'000'000;
   double time_limit_seconds = 30.0;
+  /// Cooperative cancellation, polled alongside the time-limit check.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 struct ExactResult {
@@ -23,6 +26,7 @@ struct ExactResult {
   double makespan = 0.0;
   bool proven_optimal = false;
   long long nodes = 0;
+  bool cancelled = false;  ///< search stopped by the cancellation token
 };
 
 /// Solves to optimality when the budget allows; otherwise returns the best

@@ -1,9 +1,11 @@
 #include "sched/local_search.h"
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "sched/greedy_bags.h"
+#include "util/prng.h"
 
 namespace bagsched::sched {
 
@@ -55,15 +57,29 @@ long long improve(const Instance& instance, Schedule& schedule,
     }
   }
 
+  // Scan order: job-id order by default (legacy behaviour); a non-zero
+  // seed shuffles it deterministically so different seeds explore different
+  // local optima while the same seed reproduces bit-identically.
+  std::vector<JobId> scan_order(
+      static_cast<std::size_t>(instance.num_jobs()));
+  std::iota(scan_order.begin(), scan_order.end(), JobId{0});
+  if (options.seed != 0) {
+    util::Xoshiro256 rng(options.seed);
+    rng.shuffle(scan_order);
+  }
+
   long long accepted = 0;
   bool improved = true;
-  while (improved && accepted < options.max_moves) {
+  while (improved && accepted < options.max_moves &&
+         !util::stop_requested(options.cancel)) {
     improved = false;
     Score current = score_of(loads);
 
     // Only moves involving a critical machine can improve the score, so we
     // scan jobs on critical machines first; swaps consider all partners.
-    for (const auto& job : instance.jobs()) {
+    for (const JobId job_id : scan_order) {
+      if (util::stop_requested(options.cancel)) break;
+      const auto& job = instance.job(job_id);
       const int from = schedule.machine_of(job.id);
       if (loads[static_cast<std::size_t>(from)] <
           current.makespan - 1e-12) {

@@ -8,13 +8,23 @@
 // flat regions of the makespan landscape.
 #pragma once
 
+#include <cstdint>
+
 #include "model/instance.h"
 #include "model/schedule.h"
+#include "util/cancellation.h"
 
 namespace bagsched::sched {
 
 struct LocalSearchOptions {
   long long max_moves = 200000;  ///< accepted-move budget
+  /// Seed for the job scan order: 0 keeps the deterministic LPT-index order
+  /// (legacy behaviour); any other value shuffles the scan order with a
+  /// seeded PRNG, so runs are reproducible per seed but diversified across
+  /// seeds (what the portfolio wants).
+  std::uint64_t seed = 0;
+  /// Cooperative cancellation, polled between move evaluations.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 model::Schedule local_search(const model::Instance& instance,

@@ -1,0 +1,45 @@
+// Cooperative cancellation for long-running solver loops.
+//
+// A CancellationToken is a thread-safe flag polled by the hot loops of the
+// exact branch-and-bound, the MILP solver, the EPTAS guess search and the
+// local search. Tokens can be chained: a token whose parent is cancelled
+// reports cancelled itself, which lets the portfolio runner hand every
+// solver its own token while still honouring a caller-supplied one.
+#pragma once
+
+#include <atomic>
+
+namespace bagsched::util {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// Chained token: reports cancelled when either this token or `parent`
+  /// was cancelled. `parent` must outlive this token.
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  bool stop_requested() const noexcept {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->stop_requested();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  const CancellationToken* parent_ = nullptr;
+};
+
+/// Nullable-pointer convenience used by the option structs: options carry a
+/// `const CancellationToken*` that defaults to nullptr ("never cancelled").
+inline bool stop_requested(const CancellationToken* token) noexcept {
+  return token != nullptr && token->stop_requested();
+}
+
+}  // namespace bagsched::util

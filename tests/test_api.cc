@@ -1,0 +1,300 @@
+// Tests for the unified bagsched::api layer: registry lookup, option
+// plumbing (seeds, time limits, cancellation), result equivalence with the
+// legacy entry points, and the parallel portfolio runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "api/api.h"
+#include "eptas/eptas.h"
+#include "sched/bag_lpt.h"
+#include "sched/exact.h"
+#include "sched/greedy_bags.h"
+#include "sched/local_search.h"
+#include "sched/lpt.h"
+#include "sched/multifit.h"
+
+namespace bagsched {
+namespace {
+
+using api::SolveOptions;
+using api::SolveResult;
+using api::SolveStatus;
+using api::SolverRegistry;
+using model::Instance;
+
+// --- Registry --------------------------------------------------------------
+
+TEST(ApiRegistryTest, ListsEveryExpectedSolver) {
+  const auto names = SolverRegistry::global().names();
+  for (const auto* expected :
+       {"eptas", "exact", "milp", "lpt", "bag-lpt", "greedy-bags",
+        "multifit", "local-search"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing solver " << expected;
+  }
+  EXPECT_GE(SolverRegistry::global().size(), 8u);
+}
+
+TEST(ApiRegistryTest, ExposesMetadata) {
+  const auto& registry = SolverRegistry::global();
+  EXPECT_EQ(registry.info("eptas").guarantee, api::Guarantee::Eptas);
+  EXPECT_TRUE(registry.info("exact").exact);
+  EXPECT_TRUE(registry.info("milp").exact);
+  EXPECT_FALSE(registry.info("lpt").respects_bags);
+  EXPECT_TRUE(registry.info("greedy-bags").respects_bags);
+  for (const auto* solver : registry.all()) {
+    EXPECT_FALSE(solver->info().summary.empty()) << solver->name();
+    EXPECT_FALSE(solver->info().guarantee_text.empty()) << solver->name();
+    EXPECT_FALSE(solver->info().typical_scale.empty()) << solver->name();
+  }
+}
+
+TEST(ApiRegistryTest, UnknownNameThrowsWithKnownNames) {
+  try {
+    SolverRegistry::global().resolve("no-such-solver");
+    FAIL() << "resolve should have thrown";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no-such-solver"), std::string::npos);
+    EXPECT_NE(message.find("eptas"), std::string::npos);  // lists the names
+  }
+  EXPECT_FALSE(SolverRegistry::global().contains("no-such-solver"));
+  EXPECT_EQ(SolverRegistry::global().find("no-such-solver"), nullptr);
+}
+
+// --- Uniform infeasibility handling ---------------------------------------
+
+TEST(ApiValidationTest, InfeasibleInstanceYieldsStructuredError) {
+  // A bag with 4 jobs on 2 machines: no feasible schedule exists. Legacy
+  // entry points disagree on what to do (eptas throws, heuristics vary);
+  // through the api EVERY solver reports the same structured error.
+  const Instance instance = Instance::from_vectors(
+      {1.0, 1.0, 1.0, 1.0}, {0, 0, 0, 0}, /*num_machines=*/2);
+  ASSERT_FALSE(instance.is_feasible());
+  for (const auto* solver : SolverRegistry::global().all()) {
+    const SolveResult result = solver->solve(instance);
+    EXPECT_EQ(result.status, SolveStatus::Infeasible) << solver->name();
+    EXPECT_FALSE(result.ok()) << solver->name();
+    EXPECT_NE(result.error.find("infeasible"), std::string::npos)
+        << solver->name() << ": " << result.error;
+  }
+}
+
+// --- Equivalence with the legacy entry points ------------------------------
+
+TEST(ApiEquivalenceTest, HeuristicsMatchLegacyEntryPoints) {
+  const Instance instance = gen::by_name("uniform", 30, 6, 11);
+  EXPECT_DOUBLE_EQ(api::solve("greedy-bags", instance).makespan,
+                   sched::greedy_bags(instance).makespan(instance));
+  EXPECT_DOUBLE_EQ(api::solve("bag-lpt", instance).makespan,
+                   sched::bag_lpt(instance).makespan(instance));
+  EXPECT_DOUBLE_EQ(api::solve("multifit", instance).makespan,
+                   sched::multifit(instance).makespan(instance));
+  EXPECT_DOUBLE_EQ(api::solve("lpt", instance).makespan,
+                   sched::lpt(instance).makespan(instance));
+  // seed = 0 keeps the legacy deterministic scan order.
+  EXPECT_DOUBLE_EQ(api::solve("local-search", instance, {.seed = 0}).makespan,
+                   sched::local_search(instance).makespan(instance));
+}
+
+TEST(ApiEquivalenceTest, EptasMatchesLegacyEntryPoint) {
+  const Instance instance = gen::by_name("twopoint", 24, 6, 3);
+  const auto legacy = eptas::eptas_schedule(instance, 0.5);
+  const auto result = api::solve("eptas", instance, {.eps = 0.5});
+  EXPECT_DOUBLE_EQ(result.makespan, legacy.makespan);
+  EXPECT_EQ(api::stat_int(result.stats, "guesses"),
+            legacy.stats.guesses_tried);
+  EXPECT_TRUE(result.schedule_feasible);
+}
+
+TEST(ApiEquivalenceTest, ExactMatchesLegacyAndProvesOptimality) {
+  const Instance instance = gen::by_name("uniform", 12, 3, 5);
+  const auto legacy = sched::solve_exact(instance);
+  ASSERT_TRUE(legacy.proven_optimal);
+  const auto result = api::solve("exact", instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(result.makespan, legacy.makespan);
+  EXPECT_DOUBLE_EQ(result.optimality_gap, 0.0);
+}
+
+TEST(ApiEquivalenceTest, MilpAgreesWithExactOnSmallInstances) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const Instance instance = gen::by_name("replica", 9, 3, seed);
+    const auto exact = api::solve("exact", instance);
+    const auto milp = api::solve("milp", instance);
+    ASSERT_TRUE(exact.proven_optimal);
+    ASSERT_TRUE(milp.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(milp.makespan, exact.makespan, 1e-6) << "seed " << seed;
+    EXPECT_TRUE(milp.schedule_feasible);
+  }
+}
+
+// --- Options plumbing ------------------------------------------------------
+
+TEST(ApiOptionsTest, SeedReachesGenerators) {
+  const auto a = api::make_instance("uniform", 40, 8, {.seed = 9});
+  const auto b = gen::by_name("uniform", 40, 8, 9);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  for (model::JobId j = 0; j < a.num_jobs(); ++j) {
+    EXPECT_DOUBLE_EQ(a.job(j).size, b.job(j).size);
+    EXPECT_EQ(a.job(j).bag, b.job(j).bag);
+  }
+}
+
+TEST(ApiOptionsTest, SeedMakesLocalSearchReproducible) {
+  const Instance instance = gen::by_name("uniform", 60, 8, 2);
+  const auto first = api::solve("local-search", instance, {.seed = 42});
+  const auto second = api::solve("local-search", instance, {.seed = 42});
+  EXPECT_EQ(first.schedule.assignment(), second.schedule.assignment());
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+}
+
+TEST(ApiOptionsTest, TimeLimitHonouredByExact) {
+  // Far too large for a proof; the budget must cut the search off quickly.
+  const Instance instance = gen::by_name("uniform", 60, 8, 1);
+  SolveOptions options;
+  options.time_limit_seconds = 0.2;
+  const auto result = api::solve("exact", instance, options);
+  EXPECT_TRUE(result.ok());  // incumbent is still returned
+  EXPECT_TRUE(result.schedule_feasible);
+  EXPECT_LT(result.wall_seconds, 5.0);
+}
+
+TEST(ApiOptionsTest, TimeLimitHonouredByMilp) {
+  const Instance instance = gen::by_name("uniform", 30, 5, 1);
+  SolveOptions options;
+  options.time_limit_seconds = 0.2;
+  const auto result = api::solve("milp", instance, options);
+  EXPECT_TRUE(result.ok());  // incumbent or greedy fallback
+  EXPECT_TRUE(result.schedule_feasible);
+  EXPECT_LT(result.wall_seconds, 5.0);
+}
+
+TEST(ApiOptionsTest, PreCancelledTokenShortCircuits) {
+  const Instance instance = gen::by_name("uniform", 40, 8, 1);
+  util::CancellationToken token;
+  token.request_stop();
+  SolveOptions options;
+  options.cancel = &token;
+  for (const auto* name : {"exact", "eptas", "milp"}) {
+    const auto result = api::solve(name, instance, options);
+    EXPECT_EQ(result.status, SolveStatus::Cancelled) << name;
+    EXPECT_TRUE(result.cancelled) << name;
+  }
+}
+
+TEST(ApiOptionsTest, CancellationStopsRunningExactSearch) {
+  const Instance instance = gen::by_name("uniform", 60, 8, 3);
+  util::CancellationToken token;
+  SolveOptions options;
+  options.time_limit_seconds = 60.0;  // cancellation must beat this
+  options.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    token.request_stop();
+  });
+  const auto result = api::solve("exact", instance, options);
+  canceller.join();
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(result.wall_seconds, 10.0);
+  EXPECT_TRUE(result.ok());  // best incumbent so far still returned
+}
+
+// --- Portfolio -------------------------------------------------------------
+
+TEST(ApiPortfolioTest, ReturnsMinimumMakespanOfFeasibleRuns) {
+  const Instance instance = api::make_instance("uniform", 200, 16, {.seed = 4});
+  // No certificate cancellation: every member runs to completion, so the
+  // whole portfolio is deterministic and best == min over the runs.
+  api::Portfolio portfolio(
+      {"eptas", "local-search", "multifit", "bag-lpt", "greedy-bags"},
+      {.cancel_on_certificate = false});
+  const auto race = portfolio.solve(instance, {.eps = 0.5, .seed = 4});
+  ASSERT_EQ(race.runs.size(), 5u);
+  ASSERT_TRUE(race.ok());
+  int feasible_runs = 0;
+  for (std::size_t i = 0; i < race.runs.size(); ++i) {
+    const auto& run = race.runs[i];
+    EXPECT_EQ(run.solver, portfolio.solvers()[i]);
+    ASSERT_TRUE(run.ok()) << run.solver;
+    EXPECT_TRUE(run.schedule_feasible) << run.solver;
+    EXPECT_GE(run.makespan, race.best.makespan) << run.solver;
+    EXPECT_GT(run.wall_seconds, 0.0) << run.solver;
+    ++feasible_runs;
+  }
+  EXPECT_GE(feasible_runs, 3);
+  EXPECT_TRUE(race.best.schedule_feasible);
+  // Per-solver telemetry survives the fan-out.
+  EXPECT_GT(api::stat_int(race.runs[0].stats, "guesses"), 0);
+  EXPECT_GE(api::stat_int(race.runs[1].stats, "moves"), 0);
+}
+
+TEST(ApiPortfolioTest, DeterministicGivenSeed) {
+  const Instance instance = api::make_instance("uniform", 120, 10, {.seed = 6});
+  api::Portfolio portfolio({"local-search", "multifit", "bag-lpt"},
+                           {.cancel_on_certificate = false});
+  const auto first = portfolio.solve(instance, {.seed = 6});
+  const auto second = portfolio.solve(instance, {.seed = 6});
+  EXPECT_EQ(first.best.solver, second.best.solver);
+  EXPECT_DOUBLE_EQ(first.best.makespan, second.best.makespan);
+  for (std::size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.runs[i].makespan, second.runs[i].makespan);
+  }
+}
+
+TEST(ApiPortfolioTest, CertificateCancelsStragglersWithinTimeLimit) {
+  // "exact" cannot finish 200 jobs inside its budget; once the EPTAS (or a
+  // lower-bound-matching heuristic) certifies, the shared token must stop
+  // it well before its time limit.
+  const Instance instance = api::make_instance("uniform", 200, 16, {.seed = 4});
+  api::Portfolio portfolio({"eptas", "exact", "greedy-bags"});
+  SolveOptions options;
+  options.eps = 0.5;
+  options.time_limit_seconds = 20.0;
+  const auto race = portfolio.solve(instance, options);
+  ASSERT_TRUE(race.ok());
+  const auto& exact_run = race.runs[1];
+  EXPECT_EQ(exact_run.solver, "exact");
+  // The straggler observed the stop (or, at worst, finished on its own
+  // terms) — and in every case stayed within its time limit.
+  EXPECT_LT(exact_run.wall_seconds, options.time_limit_seconds + 5.0);
+  EXPECT_LT(race.wall_seconds, options.time_limit_seconds + 10.0);
+  if (exact_run.cancelled) {
+    EXPECT_GE(race.cancelled_count, 1);
+  } else {
+    EXPECT_TRUE(exact_run.proven_optimal || !exact_run.ok() ||
+                exact_run.wall_seconds >= 0.0);
+  }
+}
+
+TEST(ApiPortfolioTest, UnknownSolverNameThrowsAtConstruction) {
+  EXPECT_THROW(api::Portfolio({"eptas", "bogus"}), std::invalid_argument);
+}
+
+TEST(ApiPortfolioTest, PreCancelledRunReportsCancelledNotInfeasible) {
+  const Instance instance = gen::by_name("uniform", 40, 8, 1);
+  util::CancellationToken token;
+  token.request_stop();
+  SolveOptions options;
+  options.cancel = &token;
+  const auto race = api::Portfolio({"exact", "eptas"}).solve(instance, options);
+  EXPECT_FALSE(race.ok());
+  EXPECT_EQ(race.best.status, SolveStatus::Cancelled);
+  EXPECT_TRUE(race.best.cancelled);
+}
+
+TEST(ApiPortfolioTest, InfeasibleInstancePropagatesStructuredError) {
+  const Instance instance = Instance::from_vectors(
+      {1.0, 1.0, 1.0}, {0, 0, 0}, /*num_machines=*/2);
+  const auto race = api::Portfolio().solve(instance);
+  EXPECT_FALSE(race.ok());
+  EXPECT_EQ(race.best.status, SolveStatus::Infeasible);
+  EXPECT_FALSE(race.best.error.empty());
+}
+
+}  // namespace
+}  // namespace bagsched
