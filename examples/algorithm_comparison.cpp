@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
          ++seed) {
       api::SolveOptions options;
       options.seed = seed;
+      // Demo-table budget: the MILP would otherwise spend its full default
+      // 30 s per cell proving the last percent of the gap.
+      options.time_limit_seconds = 5.0;
       const model::Instance instance =
           api::make_instance(family, n, m, options);
       const double lower = model::combined_lower_bound(instance);

@@ -2,17 +2,22 @@
 //
 //   $ ./instance_tool gen <family> <n> <m> <seed> <out.instance>
 //   $ ./instance_tool solve <in.instance> <eps> [solver] [out.schedule]
+//                     [--json] [--deadline <s>] [--progress]
 //   $ ./instance_tool portfolio <in.instance> <eps>
+//                     [--json] [--deadline <s>] [--progress]
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
 //   $ ./instance_tool solvers
 //
 // Covers the full user workflow through the unified API: generate a
-// workload, schedule it with any registered solver (or a portfolio of
-// them), validate any schedule against an instance, and inspect bounds.
+// workload, schedule it asynchronously through the SchedulingService with
+// any registered solver (or a portfolio of them), stream progress, enforce
+// a deadline, emit machine-readable JSON, validate any schedule against an
+// instance, and inspect bounds.
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/api.h"
 #include "model/io.h"
@@ -24,7 +29,9 @@ int usage() {
       "usage:\n"
       "  instance_tool gen <family> <n> <m> <seed> <out.instance>\n"
       "  instance_tool solve <in.instance> <eps> [solver] [out.schedule]\n"
+      "                [--json] [--deadline <s>] [--progress]\n"
       "  instance_tool portfolio <in.instance> <eps>\n"
+      "                [--json] [--deadline <s>] [--progress]\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
@@ -40,6 +47,32 @@ int usage() {
   return 2;
 }
 
+/// Flags shared by `solve` and `portfolio`; stripped from argv before the
+/// positional arguments are counted.
+struct Flags {
+  bool json = false;
+  bool progress = false;
+  double deadline_seconds = -1.0;  ///< < 0 = no deadline
+};
+
+Flags extract_flags(std::vector<std::string>& args) {
+  Flags flags;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      flags.json = true;
+    } else if (args[i] == "--progress") {
+      flags.progress = true;
+    } else if (args[i] == "--deadline" && i + 1 < args.size()) {
+      flags.deadline_seconds = std::stod(args[++i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  args = std::move(positional);
+  return flags;
+}
+
 void print_result(const bagsched::api::SolveResult& result) {
   std::cout << result.solver << ": " << bagsched::api::to_string(result.status)
             << ", makespan " << result.makespan << " (lower bound "
@@ -48,59 +81,108 @@ void print_result(const bagsched::api::SolveResult& result) {
             << result.wall_seconds << " s)\n";
 }
 
+bagsched::api::ProgressFn progress_printer() {
+  return [](const bagsched::api::ProgressEvent& event) {
+    std::cerr << "[" << event.elapsed_seconds << "s] #" << event.request_id
+              << " " << bagsched::api::to_string(event.kind);
+    if (!event.solver.empty()) std::cerr << " " << event.solver;
+    if (event.kind == bagsched::api::ProgressKind::Incumbent) {
+      std::cerr << " makespan " << event.incumbent_makespan;
+    }
+    if (event.kind == bagsched::api::ProgressKind::Phase) {
+      std::cerr << " phase=" << event.phase;
+    }
+    std::cerr << "\n";
+  };
+}
+
+/// Submits one request and waits — the async workflow in its smallest form.
+bagsched::api::SolveResult run_via_service(bagsched::api::SolveRequest request,
+                                           const Flags& flags) {
+  if (flags.deadline_seconds >= 0.0) {
+    request.deadline = bagsched::api::deadline_in(flags.deadline_seconds);
+  }
+  if (flags.progress) request.on_progress = progress_printer();
+  // One request, one slot: no point spawning hardware_concurrency workers
+  // (the portfolio path parallelises inside its own nested service).
+  bagsched::api::SchedulingService service(
+      {.num_threads = 1, .max_concurrent = 1});
+  auto handle = service.submit(std::move(request));
+  return handle.wait();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bagsched;
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
   try {
-    if (command == "gen" && argc == 7) {
+    if (command == "gen" && args.size() == 5) {
       api::SolveOptions options;
-      options.seed = std::stoull(argv[5]);
+      options.seed = std::stoull(args[3]);
       const auto instance = api::make_instance(
-          argv[2], std::stoi(argv[3]), std::stoi(argv[4]), options);
-      model::save_instance(argv[6], instance);
-      std::cout << "wrote " << argv[6] << ": " << model::describe(instance)
+          args[0], std::stoi(args[1]), std::stoi(args[2]), options);
+      model::save_instance(args[4], instance);
+      std::cout << "wrote " << args[4] << ": " << model::describe(instance)
                 << "\n";
       return 0;
     }
-    if (command == "solve" && argc >= 4 && argc <= 6) {
-      const auto instance = model::load_instance(argv[2]);
+    if (command == "solve" || command == "portfolio") {
+      const Flags flags = extract_flags(args);
+      const bool is_solve = command == "solve";
+      if (args.size() < 2 || args.size() > (is_solve ? 4u : 2u)) {
+        return usage();
+      }
+      const auto instance = model::load_instance(args[0]);
       api::SolveOptions options;
-      options.eps = std::stod(argv[3]);
-      const std::string solver = argc >= 5 ? argv[4] : "eptas";
-      const auto result = api::solve(solver, instance, options);
-      if (!result.ok()) {
-        std::cerr << "error: " << result.error << "\n";
+      options.eps = std::stod(args[1]);
+      std::vector<std::string> solvers;
+      if (is_solve) {
+        solvers.push_back(args.size() >= 3 ? args[2] : "eptas");
+      }
+      const auto result = run_via_service(
+          api::make_request(instance, options, solvers), flags);
+      if (is_solve && args.size() == 4 && result.schedule.num_jobs() > 0) {
+        std::ofstream out(args[3]);
+        model::write_schedule(out, result.schedule);
+        if (!flags.json) std::cout << "wrote " << args[3] << "\n";
+      }
+      if (flags.json) {
+        std::cout << api::to_json(result).dump(2) << "\n";
+        return result.ok() || result.schedule_feasible ? 0 : 1;
+      }
+      if (!result.ok() && !result.schedule_feasible) {
+        std::cerr << "error: "
+                  << (result.error.empty()
+                          ? std::string(api::to_string(result.status))
+                          : result.error)
+                  << "\n";
         return 1;
+      }
+      if (!is_solve) {
+        // Per-member lines, recovered from the service's telemetry.
+        const std::string runs_json =
+            api::stat_str(result.stats, "portfolio_runs_json");
+        if (!runs_json.empty()) {
+          const util::Json runs = util::Json::parse(runs_json);
+          for (const auto& run_json : runs.as_array()) {
+            print_result(api::solve_result_from_json(run_json));
+          }
+        }
+        std::cout << "winner: " << result.solver << " at " << result.makespan
+                  << " (" << api::stat_int(result.stats,
+                                           "portfolio_cancelled")
+                  << " cancelled)\n";
+        return 0;
       }
       print_result(result);
-      if (argc == 6) {
-        std::ofstream out(argv[5]);
-        model::write_schedule(out, result.schedule);
-        std::cout << "wrote " << argv[5] << "\n";
-      }
       return result.schedule_feasible ? 0 : 1;
     }
-    if (command == "portfolio" && argc == 4) {
-      const auto instance = model::load_instance(argv[2]);
-      api::SolveOptions options;
-      options.eps = std::stod(argv[3]);
-      const auto race = api::Portfolio().solve(instance, options);
-      for (const auto& run : race.runs) print_result(run);
-      if (!race.ok()) {
-        std::cerr << "error: " << race.best.error << "\n";
-        return 1;
-      }
-      std::cout << "winner: " << race.best.solver << " at "
-                << race.best.makespan << " (" << race.cancelled_count
-                << " cancelled)\n";
-      return 0;
-    }
-    if (command == "check" && argc == 4) {
-      const auto instance = model::load_instance(argv[2]);
-      std::ifstream in(argv[3]);
+    if (command == "check" && args.size() == 2) {
+      const auto instance = model::load_instance(args[0]);
+      std::ifstream in(args[1]);
       const auto schedule = model::read_schedule(in);
       const auto validation = model::validate(instance, schedule);
       if (validation.ok()) {
@@ -113,8 +195,8 @@ int main(int argc, char** argv) {
                 << validation.bag_conflicts << " bag conflicts)\n";
       return 1;
     }
-    if (command == "info" && argc == 3) {
-      const auto instance = model::load_instance(argv[2]);
+    if (command == "info" && args.size() == 1) {
+      const auto instance = model::load_instance(args[0]);
       std::cout << model::describe(instance) << "\n"
                 << "area bound    " << model::area_lower_bound(instance)
                 << "\npmax bound    " << model::pmax_lower_bound(instance)
@@ -124,7 +206,7 @@ int main(int argc, char** argv) {
                 << (instance.is_feasible() ? "yes" : "no") << "\n";
       return 0;
     }
-    if (command == "solvers" && argc == 2) {
+    if (command == "solvers" && args.empty()) {
       for (const auto* solver : api::SolverRegistry::global().all()) {
         const auto& info = solver->info();
         std::cout << info.name << "\t" << api::to_string(info.guarantee)

@@ -1,0 +1,126 @@
+// solve_service — the asynchronous service workflow end to end.
+//
+//   $ ./solve_service [num_requests] [threads]      (defaults: 12, 4)
+//
+// Demonstrates the SchedulingService surface:
+//   1. batch-submit a mixed workload (different families/sizes/priorities)
+//      over a bounded pool and collect every handle at once;
+//   2. stream progress (incumbent makespans + phase transitions) for one
+//      watched request while the batch runs;
+//   3. enforce a 150 ms deadline on a deliberately oversized exact solve —
+//      the handle resolves with SolveStatus::Cancelled carrying the best
+//      incumbent found before the stop;
+//   4. print the per-request table and one result as JSON (the shape that
+//      crosses process boundaries).
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+
+namespace {
+
+namespace api = bagsched::api;
+
+const char* kFamilies[] = {"uniform", "twopoint", "replica"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_requests = argc > 1 ? std::stoi(argv[1]) : 12;
+  const std::size_t threads = argc > 2 ? std::stoul(argv[2]) : 4;
+
+  api::SchedulingService service(
+      {.num_threads = threads, .max_concurrent = threads});
+  std::cout << "service: " << service.num_threads() << " threads, "
+            << num_requests << " requests\n";
+
+  // --- 1. A mixed batch: every request its own family/size/priority. ----
+  std::vector<api::SolveRequest> batch;
+  for (int i = 0; i < num_requests; ++i) {
+    api::SolveOptions options;
+    options.eps = 0.5;
+    options.seed = static_cast<std::uint64_t>(i + 1);
+    auto request = api::make_request(
+        api::make_instance(kFamilies[i % 3], 60 + 20 * (i % 4), 8, options),
+        options, {"local-search"});
+    request.priority = i % 3;  // mixed priorities through the queue
+    batch.push_back(std::move(request));
+  }
+
+  // --- 2. One watched request streams progress while the batch runs. ----
+  api::SolveOptions watched_options;
+  watched_options.eps = 0.5;
+  watched_options.seed = 7;
+  auto watched = api::make_request(
+      api::make_instance("uniform", 18, 4, watched_options), watched_options,
+      {"exact"});
+  watched.priority = 10;
+  watched.on_progress = [](const api::ProgressEvent& event) {
+    std::cout << "  [watched +" << std::fixed << std::setprecision(4)
+              << event.elapsed_seconds << "s] " << api::to_string(event.kind);
+    if (event.kind == api::ProgressKind::Incumbent) {
+      std::cout << " makespan=" << event.incumbent_makespan;
+    }
+    if (event.kind == api::ProgressKind::Phase) {
+      std::cout << " " << event.phase;
+    }
+    std::cout << "\n";
+  };
+
+  // --- 3. A deadline-bound exact solve that cannot finish in time. ------
+  api::SolveOptions doomed_options;
+  doomed_options.seed = 3;
+  doomed_options.time_limit_seconds = 30.0;  // deadline cuts far earlier
+  auto doomed = api::make_request(
+      api::make_instance("uniform", 60, 8, doomed_options), doomed_options,
+      {"exact"});
+  doomed.deadline = api::deadline_in(0.150);
+
+  auto handles = service.submit_batch(std::move(batch));
+  auto watched_handle = service.submit(std::move(watched));
+  auto doomed_handle = service.submit(std::move(doomed));
+
+  // --- Collect. ----------------------------------------------------------
+  std::cout << "\nbatch results:\n";
+  std::cout << std::setw(4) << "id" << std::setw(14) << "solver"
+            << std::setw(12) << "status" << std::setw(12) << "makespan"
+            << std::setw(10) << "gap%" << std::setw(10) << "wall_ms"
+            << "\n";
+  for (auto& handle : handles) {
+    const api::SolveResult& result = handle.wait();
+    std::cout << std::setw(4) << handle.id() << std::setw(14) << result.solver
+              << std::setw(12) << api::to_string(result.status)
+              << std::setw(12) << std::fixed << std::setprecision(3)
+              << result.makespan << std::setw(10) << std::setprecision(2)
+              << 100.0 * result.optimality_gap << std::setw(10)
+              << std::setprecision(2) << 1e3 * result.wall_seconds << "\n";
+  }
+
+  const api::SolveResult& watched_result = watched_handle.wait();
+  std::cout << "\nwatched request resolved: "
+            << api::to_string(watched_result.status) << ", makespan "
+            << watched_result.makespan << "\n";
+
+  const api::SolveResult& doomed_result = doomed_handle.wait();
+  std::cout << "deadline-bound exact: " << api::to_string(doomed_result.status)
+            << " after " << std::setprecision(3) << doomed_result.wall_seconds
+            << " s, incumbent makespan " << doomed_result.makespan
+            << " (feasible: " << (doomed_result.schedule_feasible ? "yes"
+                                                                  : "no")
+            << ")\n";
+
+  service.wait_idle();  // settle the bookkeeping before reading stats
+  const auto stats = service.stats();
+  std::cout << "\nservice stats: submitted " << stats.submitted
+            << ", finished " << stats.finished << ", rejected "
+            << stats.rejected << "\n";
+
+  // --- 4. Results are JSON for anything beyond this process. -----------
+  std::cout << "\nwatched result as JSON:\n"
+            << api::to_json(watched_result, /*include_schedule=*/false)
+                   .dump(2)
+            << "\n";
+  return 0;
+}

@@ -11,12 +11,21 @@
 //
 //   bagsched::api::Portfolio portfolio;          // default solver mix
 //   const auto run = portfolio.solve(instance);  // best of the portfolio
+//
+//   bagsched::api::SchedulingService service;    // async: submit + wait
+//   auto handle = service.submit(
+//       bagsched::api::make_request(instance, {.eps = 0.25}, {"eptas"}));
+//   const auto& async_result = handle.wait();
 #pragma once
 
 #include <string>
 
 #include "api/portfolio.h"
+#include "api/progress.h"
 #include "api/registry.h"
+#include "api/request.h"
+#include "api/serialize.h"
+#include "api/service.h"
 #include "api/solver.h"
 #include "api/telemetry.h"
 #include "gen/generators.h"

@@ -1,11 +1,12 @@
 #include "api/portfolio.h"
 
 #include <algorithm>
-#include <mutex>
+#include <memory>
+#include <utility>
 
 #include "api/registry.h"
+#include "api/service.h"
 #include "util/stopwatch.h"
-#include "util/thread_pool.h"
 
 namespace bagsched::api {
 
@@ -26,12 +27,19 @@ bool is_certificate(const Solver& solver, const SolveResult& result,
   return false;
 }
 
-/// Lexicographic quality: feasibility first, then makespan, then proof.
+/// Result rank for the best-fold: completed feasible schedules beat
+/// cancelled-but-feasible incumbents (the documented Cancelled contract),
+/// which beat everything unusable.
+int quality(const SolveResult& result) {
+  if (!result.schedule_feasible) return 0;
+  if (result.ok()) return 2;
+  return result.status == SolveStatus::Cancelled ? 1 : 0;
+}
+
+/// Lexicographic: quality first, then makespan, then proof.
 bool better(const SolveResult& a, const SolveResult& b) {
-  const bool a_usable = a.ok() && a.schedule_feasible;
-  const bool b_usable = b.ok() && b.schedule_feasible;
-  if (a_usable != b_usable) return a_usable;
-  if (!a_usable) return false;
+  if (quality(a) != quality(b)) return quality(a) > quality(b);
+  if (quality(a) == 0) return false;
   if (a.makespan != b.makespan) return a.makespan < b.makespan;
   return a.proven_optimal && !b.proven_optimal;
 }
@@ -52,6 +60,18 @@ Portfolio::Portfolio(std::vector<std::string> solvers,
   }
 }
 
+// Thin client of the SchedulingService: one member = one single-solver
+// request, all sharing the instance and a chained cancellation token. The
+// queueing, fan-out and cancellation wiring live in the service — the
+// portfolio only adds its certificate policy (via each member's Finished
+// progress event) and the best-result fold.
+//
+// The service here is per-call (as the legacy per-call ThreadPool was),
+// not routed through an ambient one: members must never queue behind the
+// very request that is waiting on them, which is exactly what a shared
+// queue with a concurrency cap would do (max_concurrent=1 would deadlock).
+// Callers who want one long-lived pool submit to a SchedulingService
+// directly and keep portfolios as multi-solver requests.
 PortfolioResult Portfolio::solve(const model::Instance& instance,
                                  const SolveOptions& options) const {
   util::Stopwatch timer;
@@ -66,8 +86,6 @@ PortfolioResult Portfolio::solve(const model::Instance& instance,
   // external cancellation both reach every member through one pointer.
   util::CancellationToken shared_cancel(options.cancel);
 
-  std::mutex mutex;  // guards runs[] writes and the certificate check
-
   const std::size_t threads =
       portfolio_options_.num_threads != 0
           ? portfolio_options_.num_threads
@@ -75,26 +93,46 @@ PortfolioResult Portfolio::solve(const model::Instance& instance,
                 solvers_.size(),
                 std::max<std::size_t>(
                     1, std::thread::hardware_concurrency()));
-  util::ThreadPool pool(threads);
-  pool.parallel_for(solvers_.size(), [&](std::size_t index) {
-    const Solver& solver = SolverRegistry::global().resolve(solvers_[index]);
-    SolveOptions member_options = options;
-    member_options.cancel = &shared_cancel;
-    SolveResult result = solver.solve(instance, member_options);
+  SchedulingService service(
+      {.num_threads = threads, .max_concurrent = threads});
 
-    std::lock_guard<std::mutex> lock(mutex);
-    if (portfolio_options_.cancel_on_certificate &&
-        is_certificate(solver, result, portfolio_options_)) {
-      shared_cancel.request_stop();
+  // Non-owning alias: the instance outlives every handle below because
+  // solve() waits for all of them before returning.
+  const std::shared_ptr<const model::Instance> shared_instance(
+      std::shared_ptr<const void>(), &instance);
+
+  std::vector<SolveRequest> requests;
+  requests.reserve(solvers_.size());
+  for (const auto& name : solvers_) {
+    SolveRequest request = make_request(shared_instance, options, {name});
+    request.options.cancel = &shared_cancel;
+    if (portfolio_options_.cancel_on_certificate) {
+      request.on_progress = [this, &shared_cancel](
+                                const ProgressEvent& event) {
+        if (event.kind != ProgressKind::Finished) return;
+        const Solver* solver =
+            SolverRegistry::global().find(event.solver);
+        if (solver != nullptr &&
+            is_certificate(*solver, *event.result, portfolio_options_)) {
+          shared_cancel.request_stop();
+        }
+      };
     }
-    portfolio_result.runs[index] = std::move(result);
-  });
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<SolveHandle> handles =
+      service.submit_batch(std::move(requests));
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    portfolio_result.runs[i] = handles[i].wait();
+  }
 
   for (const auto& run : portfolio_result.runs) {
     if (run.cancelled) ++portfolio_result.cancelled_count;
     if (better(run, portfolio_result.best)) portfolio_result.best = run;
   }
-  if (!portfolio_result.best.ok() && !portfolio_result.runs.empty()) {
+  if (quality(portfolio_result.best) == 0 &&
+      !portfolio_result.runs.empty()) {
     // No usable schedule: surface a run that explains why — the first
     // structured error if any (all members share the same instance, so all
     // infeasibility diagnostics agree), otherwise any run, so an

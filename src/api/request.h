@@ -1,0 +1,90 @@
+// A scheduling request: everything the SchedulingService needs to run one
+// solve asynchronously — the instance, the shared SolveOptions, the solver
+// (or portfolio) selection, a priority, an absolute deadline and an
+// optional streaming progress observer.
+//
+//   auto request = api::make_request(instance, {.eps = 0.25}, {"eptas"});
+//   request.priority = 10;
+//   request.deadline = api::deadline_in(0.250);  // 250 ms from now
+//   auto handle = service.submit(std::move(request));
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/progress.h"
+#include "api/solver.h"
+#include "model/instance.h"
+
+namespace bagsched::api {
+
+/// Monotonic clock used for deadlines (absolute time points survive
+/// suspend-free wall-clock adjustments; they do NOT cross processes — the
+/// JSON form carries seconds-until-deadline instead, see api/serialize.h).
+using ServiceClock = std::chrono::steady_clock;
+
+/// Absolute deadline `seconds` from now.
+inline ServiceClock::time_point deadline_in(double seconds) {
+  return ServiceClock::now() +
+         std::chrono::duration_cast<ServiceClock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+struct SolveRequest {
+  /// The instance to schedule. Shared (not copied) so a batch of requests
+  /// over one workload — or a portfolio fan-out — doesn't duplicate it.
+  std::shared_ptr<const model::Instance> instance;
+
+  /// Options passed to every solver the request runs (the service installs
+  /// its own cancellation token chained onto options.cancel).
+  SolveOptions options;
+
+  /// Solver selection: empty → the default portfolio mix; exactly one
+  /// registry name → that solver; several names → a portfolio race over
+  /// them (best feasible result wins, stragglers are certificate-cancelled).
+  std::vector<std::string> solvers;
+
+  /// Queue priority: larger values dispatch first when the service is
+  /// saturated; ties break by deadline (earlier first), then submit order.
+  int priority = 0;
+
+  /// Absolute deadline. When it expires the service cooperatively cancels
+  /// the run and the handle resolves with SolveStatus::Cancelled carrying
+  /// the best incumbent found so far. Unset = no deadline.
+  std::optional<ServiceClock::time_point> deadline;
+
+  /// Streaming observer for this request: Queued/Started/Finished from the
+  /// service, Phase and Incumbent events from the solvers. Invoked on
+  /// worker threads; must be thread-safe and must outlive the request's
+  /// completion (waiting on the handle is enough).
+  ProgressFn on_progress;
+};
+
+/// Convenience builder: owns a copy of the instance.
+inline SolveRequest make_request(model::Instance instance,
+                                 SolveOptions options = {},
+                                 std::vector<std::string> solvers = {}) {
+  SolveRequest request;
+  request.instance =
+      std::make_shared<const model::Instance>(std::move(instance));
+  request.options = std::move(options);
+  request.solvers = std::move(solvers);
+  return request;
+}
+
+/// Convenience builder sharing an already-owned instance.
+inline SolveRequest make_request(
+    std::shared_ptr<const model::Instance> instance,
+    SolveOptions options = {}, std::vector<std::string> solvers = {}) {
+  SolveRequest request;
+  request.instance = std::move(instance);
+  request.options = std::move(options);
+  request.solvers = std::move(solvers);
+  return request;
+}
+
+}  // namespace bagsched::api

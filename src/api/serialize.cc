@@ -1,0 +1,188 @@
+#include "api/serialize.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "model/io.h"
+
+namespace bagsched::api {
+
+namespace {
+
+/// Telemetry values carry a one-character type tag so long long and double
+/// survive the round trip distinctly ("i:3" vs a plain JSON 3.0).
+util::Json telemetry_value_to_json(const TelemetryValue& value) {
+  util::Json entry = util::Json::object();
+  if (const auto* v = std::get_if<long long>(&value)) {
+    entry.set("t", "i");
+    // Beyond 2^53 a double can no longer hold the value exactly; a decimal
+    // string keeps the promised exact round trip.
+    if (*v > (1LL << 53) || *v < -(1LL << 53)) {
+      entry.set("v", std::to_string(*v));
+    } else {
+      entry.set("v", *v);
+    }
+  } else if (const auto* v = std::get_if<double>(&value)) {
+    entry.set("t", "r");
+    entry.set("v", *v);
+  } else if (const auto* v = std::get_if<bool>(&value)) {
+    entry.set("t", "b");
+    entry.set("v", *v);
+  } else {
+    entry.set("t", "s");
+    entry.set("v", std::get<std::string>(value));
+  }
+  return entry;
+}
+
+TelemetryValue telemetry_value_from_json(const util::Json& entry) {
+  const std::string tag = entry.at("t").as_string();
+  const util::Json& v = entry.at("v");
+  if (tag == "i") {
+    return v.is_string() ? std::stoll(v.as_string()) : v.as_int();
+  }
+  if (tag == "r") return v.as_number();
+  if (tag == "b") return v.as_bool();
+  if (tag == "s") return v.as_string();
+  throw std::runtime_error("telemetry: unknown value tag \"" + tag + "\"");
+}
+
+util::Json options_to_json(const SolveOptions& options) {
+  util::Json json = util::Json::object();
+  json.set("eps", options.eps);
+  json.set("time_limit_seconds", options.time_limit_seconds);
+  json.set("max_nodes", options.max_nodes);
+  json.set("max_moves", options.max_moves);
+  json.set("multifit_iterations", options.multifit_iterations);
+  // A decimal string: uint64 seeds above 2^53 don't survive a double.
+  json.set("seed", std::to_string(options.seed));
+  json.set("stack_threshold", options.stack_threshold);
+  return json;
+}
+
+SolveOptions options_from_json(const util::Json& json) {
+  SolveOptions options;
+  options.eps = json.number_or("eps", options.eps);
+  options.time_limit_seconds =
+      json.number_or("time_limit_seconds", options.time_limit_seconds);
+  options.max_nodes = json.int_or("max_nodes", options.max_nodes);
+  options.max_moves = json.int_or("max_moves", options.max_moves);
+  options.multifit_iterations = static_cast<int>(
+      json.int_or("multifit_iterations", options.multifit_iterations));
+  if (const util::Json* seed = json.find("seed")) {
+    options.seed = seed->is_string()
+                       ? std::stoull(seed->as_string())
+                       : static_cast<std::uint64_t>(seed->as_int());
+  }
+  options.stack_threshold =
+      json.number_or("stack_threshold", options.stack_threshold);
+  return options;
+}
+
+}  // namespace
+
+util::Json to_json(const Telemetry& telemetry) {
+  util::Json json = util::Json::object();
+  for (const auto& [key, value] : telemetry) {
+    json.set(key, telemetry_value_to_json(value));
+  }
+  return json;
+}
+
+Telemetry telemetry_from_json(const util::Json& json) {
+  Telemetry telemetry;
+  for (const auto& [key, value] : json.as_object()) {
+    telemetry[key] = telemetry_value_from_json(value);
+  }
+  return telemetry;
+}
+
+SolveStatus solve_status_from_string(const std::string& name) {
+  for (const SolveStatus status :
+       {SolveStatus::Optimal, SolveStatus::Feasible, SolveStatus::Infeasible,
+        SolveStatus::Error, SolveStatus::Cancelled}) {
+    if (name == to_string(status)) return status;
+  }
+  throw std::runtime_error("unknown solve status \"" + name + "\"");
+}
+
+util::Json to_json(const SolveResult& result, bool include_schedule) {
+  util::Json json = util::Json::object();
+  json.set("solver", result.solver);
+  json.set("status", to_string(result.status));
+  json.set("makespan", result.makespan);
+  json.set("lower_bound", result.lower_bound);
+  json.set("optimality_gap", result.optimality_gap);
+  json.set("proven_optimal", result.proven_optimal);
+  json.set("schedule_feasible", result.schedule_feasible);
+  json.set("cancelled", result.cancelled);
+  json.set("wall_seconds", result.wall_seconds);
+  if (!result.error.empty()) json.set("error", result.error);
+  if (include_schedule && result.schedule.num_jobs() > 0) {
+    json.set("schedule", model::schedule_to_json(result.schedule));
+  }
+  json.set("stats", to_json(result.stats));
+  return json;
+}
+
+SolveResult solve_result_from_json(const util::Json& json) {
+  SolveResult result;
+  result.solver = json.string_or("solver", "");
+  result.status = solve_status_from_string(json.at("status").as_string());
+  result.makespan = json.number_or("makespan", 0.0);
+  result.lower_bound = json.number_or("lower_bound", 0.0);
+  result.optimality_gap = json.number_or("optimality_gap", 0.0);
+  result.proven_optimal = json.bool_or("proven_optimal", false);
+  result.schedule_feasible = json.bool_or("schedule_feasible", false);
+  result.cancelled = json.bool_or("cancelled", false);
+  result.wall_seconds = json.number_or("wall_seconds", 0.0);
+  result.error = json.string_or("error", "");
+  if (const util::Json* schedule = json.find("schedule")) {
+    result.schedule = model::schedule_from_json(*schedule);
+  }
+  if (const util::Json* stats = json.find("stats")) {
+    result.stats = telemetry_from_json(*stats);
+  }
+  return result;
+}
+
+util::Json to_json(const SolveRequest& request) {
+  util::Json json = util::Json::object();
+  if (request.instance != nullptr) {
+    json.set("instance", model::instance_to_json(*request.instance));
+  }
+  json.set("options", options_to_json(request.options));
+  util::Json solvers = util::Json::array();
+  for (const auto& name : request.solvers) solvers.push_back(name);
+  json.set("solvers", std::move(solvers));
+  json.set("priority", request.priority);
+  if (request.deadline.has_value()) {
+    json.set("deadline_seconds",
+             std::chrono::duration<double>(*request.deadline -
+                                           ServiceClock::now())
+                 .count());
+  }
+  return json;
+}
+
+SolveRequest solve_request_from_json(const util::Json& json) {
+  SolveRequest request;
+  request.instance = std::make_shared<const model::Instance>(
+      model::instance_from_json(json.at("instance")));
+  if (const util::Json* options = json.find("options")) {
+    request.options = options_from_json(*options);
+  }
+  if (const util::Json* solvers = json.find("solvers")) {
+    for (const util::Json& name : solvers->as_array()) {
+      request.solvers.push_back(name.as_string());
+    }
+  }
+  request.priority = static_cast<int>(json.int_or("priority", 0));
+  if (const util::Json* deadline = json.find("deadline_seconds")) {
+    request.deadline = deadline_in(deadline->as_number());
+  }
+  return request;
+}
+
+}  // namespace bagsched::api

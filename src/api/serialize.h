@@ -1,0 +1,44 @@
+// JSON serialization for the service boundary: SolveRequest in,
+// SolveResult (with Telemetry) out, so results cross process boundaries
+// machine-readably. See README "JSON result schema" for the shapes.
+//
+//   const util::Json doc = api::to_json(result);
+//   socket << doc.dump();
+//   ...
+//   const api::SolveResult back =
+//       api::solve_result_from_json(util::Json::parse(text));
+//
+// Notes on fidelity:
+//   * Telemetry round-trips exactly (type tags distinguish int/real/bool/
+//     string values; integers beyond 2^53 — like uint64 seeds — are
+//     written as decimal strings so no precision is lost in a double).
+//   * SolveOptions round-trips its scalar fields; the cancellation token,
+//     progress callback and the advanced EptasConfig are process-local and
+//     are not serialized.
+//   * A request's absolute deadline is serialized as "deadline_seconds"
+//     (seconds remaining at serialization time) and re-anchored to now()
+//     when parsed — steady-clock time points don't cross processes.
+#pragma once
+
+#include "api/request.h"
+#include "api/solver.h"
+#include "util/json.h"
+
+namespace bagsched::api {
+
+util::Json to_json(const Telemetry& telemetry);
+Telemetry telemetry_from_json(const util::Json& json);
+
+/// `include_schedule=false` drops the per-job assignment (makespan and
+/// telemetry only) for lighter result streams.
+util::Json to_json(const SolveResult& result, bool include_schedule = true);
+SolveResult solve_result_from_json(const util::Json& json);
+
+util::Json to_json(const SolveRequest& request);
+SolveRequest solve_request_from_json(const util::Json& json);
+
+/// Inverse of to_string(SolveStatus); throws std::runtime_error on an
+/// unknown name.
+SolveStatus solve_status_from_string(const std::string& name);
+
+}  // namespace bagsched::api

@@ -1,0 +1,462 @@
+#include "api/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "api/portfolio.h"
+#include "api/registry.h"
+#include "api/serialize.h"
+#include "util/stopwatch.h"
+
+namespace bagsched::api {
+
+namespace detail {
+
+struct RequestState {
+  explicit RequestState(SolveRequest req)
+      : request(std::move(req)), cancel(request.options.cancel) {}
+
+  std::uint64_t id = 0;
+  SolveRequest request;
+  /// Per-request token chained onto the caller's options.cancel; fired by
+  /// the deadline watchdog, SolveHandle::cancel() and service shutdown.
+  util::CancellationToken cancel;
+  /// The service itself requested the stop (deadline / handle / shutdown),
+  /// so the final status must read Cancelled.
+  std::atomic<bool> service_cancel{false};
+  std::atomic<bool> deadline_fired{false};
+  util::Stopwatch since_submit;
+  double queue_seconds = 0.0;  ///< written by the dispatcher, pre-Started
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  SolveResult result;
+
+  /// Observer fan-out with the request id and submit-relative elapsed time
+  /// filled in. Lifecycle events (Queued/Started/Finished) go only to
+  /// request.on_progress — options.progress is the solver-level stream, and
+  /// forwarding lifecycle there would leak nested portfolio-member
+  /// lifecycles as extra "terminal" Finished events on the outer request.
+  void emit(ProgressEvent event, bool solver_level = false) {
+    if (!request.on_progress && !request.options.progress) return;
+    event.request_id = id;
+    event.elapsed_seconds = since_submit.seconds();
+    try {
+      if (request.on_progress) request.on_progress(event);
+      if (solver_level && request.options.progress) {
+        request.options.progress(event);
+      }
+    } catch (...) {
+      // Observability must never break scheduling: a throwing callback is
+      // dropped so the solve still resolves and the handle never hangs.
+    }
+  }
+};
+
+}  // namespace detail
+
+using detail::RequestState;
+
+// --- SolveHandle -----------------------------------------------------------
+
+std::uint64_t SolveHandle::id() const {
+  return state_ != nullptr ? state_->id : 0;
+}
+
+const SolveResult& SolveHandle::wait() {
+  if (state_ == nullptr) {
+    throw std::logic_error("SolveHandle: wait() on an invalid handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+std::optional<SolveResult> SolveHandle::try_get() const {
+  if (state_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->done) return std::nullopt;
+  return state_->result;
+}
+
+bool SolveHandle::wait_for(double seconds) const {
+  if (state_ == nullptr) {
+    throw std::logic_error("SolveHandle: wait_for() on an invalid handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [this] { return state_->done; });
+}
+
+bool SolveHandle::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void SolveHandle::cancel() {
+  if (state_ == nullptr) return;
+  state_->service_cancel.store(true, std::memory_order_relaxed);
+  state_->cancel.request_stop();
+}
+
+// --- SchedulingService -----------------------------------------------------
+
+namespace {
+
+/// Queue order: priority desc, then deadline asc (none = last), then
+/// submission order. Used to pick the next request, not to keep the vector
+/// sorted — queue depths are service-level, not algorithmic.
+bool dispatches_before(const RequestState& a, const RequestState& b) {
+  if (a.request.priority != b.request.priority) {
+    return a.request.priority > b.request.priority;
+  }
+  const bool a_has = a.request.deadline.has_value();
+  const bool b_has = b.request.deadline.has_value();
+  if (a_has != b_has) return a_has;
+  if (a_has && *a.request.deadline != *b.request.deadline) {
+    return *a.request.deadline < *b.request.deadline;
+  }
+  return a.id < b.id;
+}
+
+}  // namespace
+
+SchedulingService::SchedulingService(Config config)
+    : config_(config), pool_(config.num_threads) {
+  max_concurrent_ =
+      config_.max_concurrent != 0 ? config_.max_concurrent : pool_.size();
+  // The deadline watchdog starts lazily on the first deadline-bearing
+  // submit — deadline-free services (e.g. the per-call service inside
+  // Portfolio::solve) never pay for the extra thread.
+}
+
+SchedulingService::~SchedulingService() {
+  std::vector<std::shared_ptr<RequestState>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    pending = std::move(queue_);
+    queue_.clear();
+    for (const auto& state : running_) {
+      state->service_cancel.store(true, std::memory_order_relaxed);
+      state->cancel.request_stop();
+    }
+  }
+  watchdog_cv_.notify_all();
+  // Resolve never-dispatched requests so their handles don't block forever.
+  for (const auto& state : pending) {
+    SolveResult result;
+    result.status = SolveStatus::Cancelled;
+    result.cancelled = true;
+    result.error = "cancelled: service shut down before the request ran";
+    resolve(state, std::move(result), /*emit_finished=*/true);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++finished_;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return running_.empty(); });
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  // pool_ destructor joins the workers (its queue is already drained).
+}
+
+SolveHandle SchedulingService::submit(SolveRequest request) {
+  std::vector<SolveRequest> one;
+  one.push_back(std::move(request));
+  return submit_batch(std::move(one)).front();
+}
+
+std::vector<SolveHandle> SchedulingService::submit_batch(
+    std::vector<SolveRequest> requests) {
+  std::vector<SolveHandle> handles;
+  handles.reserve(requests.size());
+  std::vector<std::shared_ptr<RequestState>> states;
+  states.reserve(requests.size());
+  for (auto& request : requests) {
+    if (request.instance == nullptr) {
+      throw std::invalid_argument("SolveRequest.instance is null");
+    }
+    for (const auto& name : request.solvers) {
+      SolverRegistry::global().resolve(name);  // throws, listing names
+    }
+    auto state = std::make_shared<RequestState>(std::move(request));
+    state->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    handles.push_back(SolveHandle(state));
+    states.push_back(std::move(state));
+  }
+  std::vector<std::shared_ptr<RequestState>> bounced;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("SchedulingService: submit after shutdown");
+    }
+    // Backpressure counts the slots the deferred dispatch below will free:
+    // after it runs, the pending queue is back under max_queue_depth, and
+    // a batch admits exactly what the same requests submitted one-by-one
+    // would have admitted.
+    const std::size_t free_slots =
+        max_concurrent_ > running_.size() ? max_concurrent_ - running_.size()
+                                          : 0;
+    for (auto& state : states) {
+      if (config_.max_queue_depth != 0 &&
+          queue_.size() >= config_.max_queue_depth + free_slots) {
+        ++rejected_;
+        bounced.push_back(std::move(state));
+        continue;
+      }
+      ++submitted_;
+      if (state->request.deadline.has_value() && !watchdog_.joinable()) {
+        watchdog_ = std::thread([this] { watchdog_loop(); });
+      }
+      // Queued is emitted under the lock, strictly for accepted requests:
+      // the dispatch below happens after, so Started can never precede it.
+      state->emit({.kind = ProgressKind::Queued});
+      queue_.push_back(std::move(state));
+    }
+    // One dispatch pass after the whole batch is queued, so the batch is
+    // prioritised as a unit instead of first-come-first-dispatched.
+    dispatch_locked();
+  }
+  for (const auto& state : bounced) {
+    SolveResult result;
+    result.status = SolveStatus::Cancelled;
+    result.cancelled = true;
+    result.error =
+        "rejected: service queue is full (max_queue_depth=" +
+        std::to_string(config_.max_queue_depth) + ")";
+    resolve(state, std::move(result), /*emit_finished=*/true);
+  }
+  watchdog_cv_.notify_one();
+  return handles;
+}
+
+void SchedulingService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock,
+                [this] { return queue_.empty() && running_.empty(); });
+}
+
+SchedulingService::Stats SchedulingService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.queued = queue_.size();
+  stats.running = running_.size();
+  stats.finished = finished_;
+  return stats;
+}
+
+void SchedulingService::dispatch_locked() {
+  while (running_.size() < max_concurrent_ && !queue_.empty()) {
+    auto next = std::min_element(
+        queue_.begin(), queue_.end(),
+        [](const auto& a, const auto& b) {
+          return dispatches_before(*a, *b);
+        });
+    std::shared_ptr<RequestState> state = std::move(*next);
+    queue_.erase(next);
+    state->queue_seconds = state->since_submit.seconds();
+    running_.push_back(state);
+    pool_.submit([this, state = std::move(state)]() mutable {
+      run_request(std::move(state));
+    });
+  }
+}
+
+SolveResult SchedulingService::execute(RequestState& state) {
+  const SolveRequest& request = state.request;
+  SolveOptions options = request.options;
+  options.cancel = &state.cancel;
+  // Deadline cooperation beyond the token: solvers that only honour wall
+  // budgets (exact / MILP time limits) get their budget clamped to the
+  // time remaining, so they stop near the deadline even between polls.
+  if (request.deadline.has_value()) {
+    const double remaining =
+        std::chrono::duration<double>(*request.deadline -
+                                      ServiceClock::now())
+            .count();
+    options.time_limit_seconds =
+        std::min(options.time_limit_seconds, std::max(remaining, 0.0));
+  }
+  // Progress events from the solver layer (Phase / Incumbent — and, for a
+  // portfolio, the members' solver streams) fan out to both observers.
+  options.progress = [&state](const ProgressEvent& event) {
+    state.emit(event, /*solver_level=*/true);
+  };
+
+  if (request.solvers.size() == 1) {
+    return SolverRegistry::global()
+        .resolve(request.solvers.front())
+        .solve(*request.instance, options);
+  }
+
+  // Portfolio race (empty selection = the default mix). The portfolio is
+  // itself a client of a nested service, so this stays one code path.
+  Portfolio portfolio = request.solvers.empty()
+                            ? Portfolio()
+                            : Portfolio(request.solvers);
+  PortfolioResult race = portfolio.solve(*request.instance, options);
+  SolveResult result = std::move(race.best);
+  result.stats["portfolio_members"] =
+      static_cast<long long>(portfolio.solvers().size());
+  result.stats["portfolio_cancelled"] =
+      static_cast<long long>(race.cancelled_count);
+  // Per-member summaries (schedules dropped) ride along machine-readably,
+  // so service clients can still render the whole race.
+  util::Json runs = util::Json::array();
+  for (const auto& run : race.runs) {
+    runs.push_back(to_json(run, /*include_schedule=*/false));
+  }
+  result.stats["portfolio_runs_json"] = runs.dump();
+  return result;
+}
+
+void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
+  state->emit({.kind = ProgressKind::Started});
+  SolveResult result;
+  try {
+    result = execute(*state);
+  } catch (const std::exception& error) {
+    // A throwing solver (bad eps, internal failure) must still resolve the
+    // handle — an unhandled exception would die in the pool wrapper and
+    // leave wait() blocked forever.
+    result = SolveResult{};
+    if (state->request.solvers.size() == 1) {
+      result.solver = state->request.solvers.front();
+    }
+    result.status = SolveStatus::Error;
+    result.error = error.what();
+  } catch (...) {
+    result = SolveResult{};
+    result.status = SolveStatus::Error;
+    result.error = "solver threw a non-standard exception";
+  }
+
+  // Deadline attribution is decided here, from the clock, not from the
+  // watchdog: the time-limit clamp in execute() can stop the solver right
+  // at the deadline before the watchdog's wakeup lands, and the outcome
+  // must not depend on that race.
+  if (state->request.deadline.has_value() &&
+      ServiceClock::now() >= *state->request.deadline) {
+    state->deadline_fired.store(true, std::memory_order_relaxed);
+    state->service_cancel.store(true, std::memory_order_relaxed);
+  }
+  if (state->service_cancel.load(std::memory_order_relaxed)) {
+    // Deadline / handle / shutdown cancellation determines the status —
+    // except a completed optimality proof, which beats the deadline. The
+    // incumbent fields (schedule, makespan, schedule_feasible) are kept as
+    // the solver filled them: Cancelled-with-incumbent is a usable result.
+    if (result.status == SolveStatus::Feasible) {
+      result.status = SolveStatus::Cancelled;
+    }
+    if (result.status == SolveStatus::Cancelled) result.cancelled = true;
+  }
+  result.stats["request_id"] = static_cast<long long>(state->id);
+  result.stats["queue_seconds"] = state->queue_seconds;
+  if (state->deadline_fired.load(std::memory_order_relaxed)) {
+    result.stats["deadline_expired"] = true;
+  }
+
+  resolve(state, std::move(result), /*emit_finished=*/true);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.erase(std::find(running_.begin(), running_.end(), state));
+    ++finished_;
+    if (!stopping_) dispatch_locked();
+  }
+  idle_cv_.notify_all();
+  watchdog_cv_.notify_one();
+}
+
+void SchedulingService::resolve(
+    const std::shared_ptr<RequestState>& state, SolveResult result,
+    bool emit_finished) {
+  // Store first, then emit Finished pointing at the stored result, then
+  // open the done gate: every progress event for a request is delivered
+  // before any wait() on its handle returns.
+  state->result = std::move(result);
+  if (emit_finished) {
+    ProgressEvent event;
+    event.kind = ProgressKind::Finished;
+    event.solver = state->result.solver;
+    event.result = &state->result;
+    state->emit(std::move(event));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void SchedulingService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    std::optional<ServiceClock::time_point> earliest;
+    const auto consider = [&](const std::shared_ptr<RequestState>& state) {
+      if (!state->request.deadline.has_value()) return;
+      if (state->deadline_fired.load(std::memory_order_relaxed)) return;
+      if (!earliest.has_value() || *state->request.deadline < *earliest) {
+        earliest = *state->request.deadline;
+      }
+    };
+    for (const auto& state : queue_) consider(state);
+    for (const auto& state : running_) consider(state);
+
+    if (!earliest.has_value()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    if (watchdog_cv_.wait_until(lock, *earliest) ==
+        std::cv_status::timeout) {
+      const auto now = ServiceClock::now();
+      const auto fire = [&](const std::shared_ptr<RequestState>& state) {
+        if (!state->request.deadline.has_value()) return false;
+        if (*state->request.deadline > now) return false;
+        if (state->deadline_fired.exchange(true,
+                                           std::memory_order_relaxed)) {
+          return false;
+        }
+        state->service_cancel.store(true, std::memory_order_relaxed);
+        state->cancel.request_stop();
+        return true;
+      };
+      for (const auto& state : running_) fire(state);
+      // Queued requests whose deadline passed resolve right here — the
+      // deadline is a latency bound, so the handle must not keep waiting
+      // behind a busy slot (nor burn one later just to report Cancelled).
+      std::vector<std::shared_ptr<RequestState>> expired;
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (fire(*it)) {
+          expired.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // Resolved while the lock is held (like Queued emission), so there
+      // is no window where wait_idle()/stats() see the queue drained while
+      // an expired handle is still unresolved.
+      for (const auto& state : expired) {
+        SolveResult result;
+        result.status = SolveStatus::Cancelled;
+        result.cancelled = true;
+        result.error =
+            "cancelled: deadline expired before the request was dispatched";
+        result.stats["deadline_expired"] = true;
+        result.stats["request_id"] = static_cast<long long>(state->id);
+        resolve(state, std::move(result), /*emit_finished=*/true);
+      }
+      finished_ += expired.size();
+      if (!expired.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace bagsched::api

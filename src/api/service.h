@@ -1,0 +1,155 @@
+// Long-lived asynchronous scheduling service — the production entry point
+// of the library.
+//
+//   api::SchedulingService service({.num_threads = 8});
+//   auto request = api::make_request(instance, {.eps = 0.25}, {"eptas"});
+//   request.deadline = api::deadline_in(0.5);
+//   api::SolveHandle handle = service.submit(std::move(request));
+//   ... do other work ...
+//   const api::SolveResult& result = handle.wait();
+//
+// The service owns one shared util::ThreadPool and a priority/deadline-
+// aware request queue with a configurable concurrency cap. Every request
+// gets its own CancellationToken chained onto the caller's: deadline
+// expiry (tracked by a watchdog thread) and SolveHandle::cancel() both
+// request a cooperative stop, and the handle then resolves with
+// SolveStatus::Cancelled carrying the best incumbent found before the
+// stop. submit_batch() fans a vector of requests through the queue and
+// returns all handles at once. Progress (Queued / Started / Phase /
+// Incumbent / Finished) streams to the request's on_progress callback.
+//
+// Portfolio::solve is a thin client of this service, so single solves,
+// portfolio races and batched service traffic all go through one
+// scheduling path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "api/request.h"
+#include "api/solver.h"
+#include "util/thread_pool.h"
+
+namespace bagsched::api {
+
+namespace detail {
+struct RequestState;
+}
+
+/// Caller's view of one submitted request. Cheap to copy (shared state);
+/// all methods are thread-safe. A default-constructed handle is invalid:
+/// wait()/wait_for() throw std::logic_error on it, try_get() returns
+/// nullopt, done() returns false and cancel() is a no-op.
+class SolveHandle {
+ public:
+  SolveHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Service-assigned id (1-based, unique per service); 0 when invalid.
+  std::uint64_t id() const;
+
+  /// Blocks until the request resolves; the reference stays valid for the
+  /// handle's lifetime.
+  const SolveResult& wait();
+  /// Non-blocking: the result when resolved, std::nullopt while in flight.
+  std::optional<SolveResult> try_get() const;
+  /// Blocks up to `seconds`; true when the request resolved in time.
+  bool wait_for(double seconds) const;
+  bool done() const;
+
+  /// Cooperative cancellation: requests a stop; the handle still resolves
+  /// (with SolveStatus::Cancelled and the best incumbent, if any).
+  void cancel();
+
+ private:
+  friend class SchedulingService;
+  explicit SolveHandle(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+struct ServiceConfig {
+  /// Worker threads in the shared pool (hardware concurrency when 0).
+  std::size_t num_threads = 0;
+  /// Requests running concurrently; queue the rest (pool size when 0).
+  std::size_t max_concurrent = 0;
+  /// Pending-queue cap; submits beyond it resolve immediately with
+  /// status Cancelled and error "rejected: ..." (0 = unbounded).
+  std::size_t max_queue_depth = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted requests (excludes rejected)
+  std::uint64_t rejected = 0;   ///< bounced off the max_queue_depth cap
+  std::size_t queued = 0;       ///< waiting for a slot right now
+  std::size_t running = 0;      ///< in flight right now
+  std::uint64_t finished = 0;   ///< accepted requests that resolved —
+                                ///< submitted == finished once drained;
+                                ///< rejected handles resolve too but are
+                                ///< counted under rejected, not here
+};
+
+class SchedulingService {
+ public:
+  using Config = ServiceConfig;
+  using Stats = ServiceStats;
+
+  explicit SchedulingService(Config config = {});
+  /// Cancels everything in flight, resolves all pending handles with
+  /// status Cancelled, and joins the workers.
+  ~SchedulingService();
+
+  SchedulingService(const SchedulingService&) = delete;
+  SchedulingService& operator=(const SchedulingService&) = delete;
+
+  /// Validates eagerly — throws std::invalid_argument on a null instance
+  /// or an unknown solver name (like SolverRegistry::resolve), and
+  /// std::logic_error after shutdown began. Backpressure does NOT throw:
+  /// past max_queue_depth the handle resolves immediately as rejected.
+  SolveHandle submit(SolveRequest request);
+
+  /// Fans a vector of requests through the queue atomically (they are
+  /// prioritised against each other before any of them dispatches) and
+  /// returns all handles at once, in request order.
+  std::vector<SolveHandle> submit_batch(std::vector<SolveRequest> requests);
+
+  /// Blocks until no request is queued or running.
+  void wait_idle();
+
+  Stats stats() const;
+  std::size_t num_threads() const { return pool_.size(); }
+
+ private:
+  void dispatch_locked();
+  void run_request(std::shared_ptr<detail::RequestState> state);
+  SolveResult execute(detail::RequestState& state);
+  void resolve(const std::shared_ptr<detail::RequestState>& state,
+               SolveResult result, bool emit_finished);
+  void watchdog_loop();
+
+  Config config_;
+  std::size_t max_concurrent_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::condition_variable watchdog_cv_;
+  std::vector<std::shared_ptr<detail::RequestState>> queue_;
+  std::vector<std::shared_ptr<detail::RequestState>> running_;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t finished_ = 0;
+  std::atomic<std::uint64_t> next_id_{0};
+
+  util::ThreadPool pool_;
+  std::thread watchdog_;
+};
+
+}  // namespace bagsched::api

@@ -35,11 +35,23 @@ const char* to_string(Guarantee guarantee) {
   return "?";
 }
 
+const char* to_string(ProgressKind kind) {
+  switch (kind) {
+    case ProgressKind::Queued: return "queued";
+    case ProgressKind::Started: return "started";
+    case ProgressKind::Phase: return "phase";
+    case ProgressKind::Incumbent: return "incumbent";
+    case ProgressKind::Finished: return "finished";
+  }
+  return "?";
+}
+
 const char* to_string(SolveStatus status) {
   switch (status) {
     case SolveStatus::Optimal: return "optimal";
     case SolveStatus::Feasible: return "feasible";
     case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Error: return "error";
     case SolveStatus::Cancelled: return "cancelled";
   }
   return "?";
@@ -86,8 +98,20 @@ SolveResult Solver::solve(const model::Instance& instance,
   run(instance, options, result);
   result.wall_seconds = timer.seconds();
 
-  if (result.status == SolveStatus::Infeasible ||
-      result.status == SolveStatus::Cancelled) {
+  if (result.status == SolveStatus::Infeasible) return result;
+  if (result.status == SolveStatus::Cancelled) {
+    // Cancellation contract: a Cancelled result that still carries an
+    // incumbent reports its makespan, feasibility and gap exactly like a
+    // Feasible one, so deadline-cut schedules are directly usable.
+    result.cancelled = true;
+    if (result.schedule.num_jobs() > 0) {
+      result.makespan = result.schedule.makespan(instance);
+      result.schedule_feasible =
+          model::validate(instance, result.schedule).ok();
+      if (result.schedule_feasible && result.lower_bound > 0.0) {
+        result.optimality_gap = result.makespan / result.lower_bound - 1.0;
+      }
+    }
     return result;
   }
 

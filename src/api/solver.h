@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "api/progress.h"
 #include "api/telemetry.h"
 #include "eptas/config.h"
 #include "model/instance.h"
@@ -65,6 +66,11 @@ struct SolveOptions {
   double stack_threshold = 0.5;
   /// Cooperative cancellation, polled inside the solver hot loops.
   const util::CancellationToken* cancel = nullptr;
+  /// Streaming progress: Incumbent events from the incumbent-maintaining
+  /// solvers (exact, milp, local-search) and Phase events from the EPTAS
+  /// adapter. Invoked on the solving thread; must be thread-safe when the
+  /// same options are shared across a portfolio. Empty = no streaming.
+  ProgressFn progress;
   /// Advanced EPTAS tuning (constants profile, caps, rescue, MILP budgets).
   /// time_limit_seconds and cancel override the nested MILP settings.
   eptas::EptasConfig eptas;
@@ -74,7 +80,14 @@ enum class SolveStatus {
   Optimal,     ///< schedule proven optimal (gap 0)
   Feasible,    ///< feasible schedule, optimality not proven
   Infeasible,  ///< instance malformed or no feasible schedule exists
-  Cancelled,   ///< cancelled before any schedule was produced
+  Error,       ///< solver failed for a non-instance reason (bad options,
+               ///< internal failure); the instance may well be solvable
+  /// Cancellation (deadline expiry, handle.cancel(), a pre-fired token)
+  /// determined the outcome. The result may still carry the best incumbent
+  /// found before the stop — when it does, `schedule_feasible`, `makespan`
+  /// and `optimality_gap` are filled in exactly as for Feasible results, so
+  /// callers can use a deadline-cut schedule without special-casing.
+  Cancelled,
 };
 
 const char* to_string(SolveStatus status);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "eptas/eptas.h"
@@ -18,10 +19,42 @@
 #include "sched/local_search.h"
 #include "sched/lpt.h"
 #include "sched/multifit.h"
+#include "util/stopwatch.h"
 
 namespace bagsched::api {
 
 namespace {
+
+/// Incumbent emitter for the streaming solvers: adapts the native
+/// `on_incumbent(double)` hooks onto the caller's ProgressFn. Returns an
+/// empty function when no observer is installed, so the native layers skip
+/// the calls entirely.
+std::function<void(double)> incumbent_emitter(const SolveOptions& options,
+                                              std::string solver) {
+  if (!options.progress) return {};
+  // The stopwatch is shared by every emission of this solve.
+  auto timer = std::make_shared<util::Stopwatch>();
+  return [progress = options.progress, solver = std::move(solver),
+          timer](double makespan) {
+    ProgressEvent event;
+    event.kind = ProgressKind::Incumbent;
+    event.solver = solver;
+    event.incumbent_makespan = makespan;
+    event.elapsed_seconds = timer->seconds();
+    progress(event);
+  };
+}
+
+void emit_phase(const SolveOptions& options, const std::string& solver,
+                std::string phase, double elapsed_seconds = 0.0) {
+  if (!options.progress) return;
+  ProgressEvent event;
+  event.kind = ProgressKind::Phase;
+  event.solver = solver;
+  event.phase = std::move(phase);
+  event.elapsed_seconds = elapsed_seconds;
+  options.progress(event);
+}
 
 class EptasSolver final : public Solver {
  public:
@@ -42,7 +75,12 @@ class EptasSolver final : public Solver {
         config.milp.time_limit_seconds, options.time_limit_seconds);
     if (config.milp.cancel == nullptr) config.milp.cancel = config.cancel;
 
+    util::Stopwatch timer;
+    emit_phase(options, name(), "pipeline");
     const auto native = eptas::eptas_schedule(instance, options.eps, config);
+    if (native.stats.used_fallback) {
+      emit_phase(options, name(), "fallback", timer.seconds());
+    }
     result.schedule = native.schedule;
     // A fired token only affected this run when it forced the fallback; a
     // pipeline-certified result completed before the stop.
@@ -86,6 +124,7 @@ class ExactSolver final : public Solver {
     native_options.max_nodes = options.max_nodes;
     native_options.time_limit_seconds = options.time_limit_seconds;
     native_options.cancel = options.cancel;
+    native_options.on_incumbent = incumbent_emitter(options, name());
 
     const auto native = sched::solve_exact(instance, native_options);
     result.schedule = native.schedule;
@@ -161,13 +200,17 @@ class MilpSolver final : public Solver {
     native_options.max_nodes = options.max_nodes;
     native_options.time_limit_seconds = options.time_limit_seconds;
     native_options.cancel = options.cancel;
+    // The objective variable C is the makespan, so MILP incumbents stream
+    // directly as incumbent makespans.
+    native_options.on_incumbent = incumbent_emitter(options, name());
 
     const auto native =
         milp::solve(lp_model, integer_variables, native_options);
     result.stats["nodes"] = native.nodes_explored;
     result.stats["milp_status"] = std::string(milp::to_string(native.status));
-    result.cancelled = util::stop_requested(options.cancel) &&
-                       native.status != milp::MilpStatus::Optimal;
+    // Exact attribution from the search itself: a token that fired after
+    // the budget already stopped the run doesn't count as a cancellation.
+    result.cancelled = native.cancelled;
 
     if (native.status == milp::MilpStatus::Optimal ||
         native.status == milp::MilpStatus::Feasible) {
@@ -213,14 +256,15 @@ class LocalSearchSolver final : public Solver {
     native_options.max_moves = options.max_moves;
     native_options.seed = options.seed;
     native_options.cancel = options.cancel;
+    native_options.on_incumbent = incumbent_emitter(options, name());
     result.schedule = sched::greedy_bags(instance);
-    const long long moves =
+    const auto descent =
         sched::improve(instance, result.schedule, native_options);
-    // Approximate: a token that fired after the descent converged is
-    // indistinguishable from one that stopped it (improve() reports moves
-    // only); over-counting is the safe direction for cancelled_count.
-    result.cancelled = util::stop_requested(options.cancel);
-    result.stats["moves"] = moves;
+    // Exact: improve() reports a cancellation only when the token stopped
+    // the descent before convergence, so a token firing after the local
+    // optimum was reached doesn't inflate PortfolioResult::cancelled_count.
+    result.cancelled = descent.cancelled;
+    result.stats["moves"] = descent.accepted_moves;
   }
 };
 

@@ -73,10 +73,11 @@ MilpResult solve(const lp::Model& root_model,
   bool truncated = false;
 
   while (!open.empty()) {
-    if (result.nodes_explored >= options.max_nodes ||
-        timer.seconds() > options.time_limit_seconds ||
-        util::stop_requested(options.cancel)) {
+    const bool stopped = util::stop_requested(options.cancel);
+    if (stopped || result.nodes_explored >= options.max_nodes ||
+        timer.seconds() > options.time_limit_seconds) {
       truncated = true;
+      result.cancelled = stopped;
       break;
     }
     Node node = open.top();
@@ -144,6 +145,9 @@ MilpResult solve(const lp::Model& root_model,
         for (int var : integer_variables) {
           incumbent[static_cast<std::size_t>(var)] =
               std::round(incumbent[static_cast<std::size_t>(var)]);
+        }
+        if (options.on_incumbent) {
+          options.on_incumbent(sign * incumbent_value);
         }
       }
       continue;

@@ -31,6 +31,10 @@ struct MilpOptions {
   double relative_gap = 1e-9;
   /// Cooperative cancellation, polled once per node.
   const util::CancellationToken* cancel = nullptr;
+  /// Invoked with the incumbent objective (in the model's orientation)
+  /// every time a better integral solution is found. Runs on the solving
+  /// thread between node relaxations — keep it cheap.
+  std::function<void(double objective)> on_incumbent;
   lp::SimplexOptions lp_options;
 };
 
@@ -40,6 +44,9 @@ struct MilpResult {
   std::vector<double> x;
   long long nodes_explored = 0;
   double best_bound = 0.0;  ///< proven bound on the optimum (minimization)
+  /// True iff the cancellation token (not the node/time budget) stopped
+  /// the search, so callers can count real cancellations exactly.
+  bool cancelled = false;
 };
 
 /// Solves model with the given variables required integral.

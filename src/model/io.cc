@@ -115,4 +115,64 @@ Schedule read_schedule(std::istream& is) {
   return schedule;
 }
 
+util::Json instance_to_json(const Instance& instance) {
+  util::Json json = util::Json::object();
+  json.set("machines", instance.num_machines());
+  json.set("bags", instance.num_bags());
+  util::Json jobs = util::Json::array();
+  for (const Job& job : instance.jobs()) {
+    util::Json entry = util::Json::object();
+    entry.set("size", job.size);
+    entry.set("bag", job.bag);
+    jobs.push_back(std::move(entry));
+  }
+  json.set("jobs", std::move(jobs));
+  return json;
+}
+
+Instance instance_from_json(const util::Json& json) {
+  const int machines = static_cast<int>(json.at("machines").as_int());
+  const int bags = static_cast<int>(json.at("bags").as_int());
+  std::vector<Job> jobs;
+  jobs.reserve(json.at("jobs").size());
+  for (const util::Json& entry : json.at("jobs").as_array()) {
+    Job job;
+    job.size = entry.at("size").as_number();
+    job.bag = static_cast<BagId>(entry.at("bag").as_int());
+    jobs.push_back(job);
+  }
+  Instance instance(std::move(jobs), machines, bags);
+  instance.validate();
+  return instance;
+}
+
+util::Json schedule_to_json(const Schedule& schedule) {
+  util::Json json = util::Json::object();
+  json.set("machines", schedule.num_machines());
+  util::Json assignment = util::Json::array();
+  for (JobId j = 0; j < schedule.num_jobs(); ++j) {
+    assignment.push_back(schedule.machine_of(j));
+  }
+  json.set("assignment", std::move(assignment));
+  return json;
+}
+
+Schedule schedule_from_json(const util::Json& json) {
+  const int machines = static_cast<int>(json.at("machines").as_int());
+  const auto& assignment = json.at("assignment").as_array();
+  Schedule schedule(static_cast<int>(assignment.size()), machines);
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    const auto machine = static_cast<MachineId>(assignment[j].as_int());
+    // Fail loudly like instance_from_json: an out-of-range machine id
+    // would otherwise index past the load vectors downstream.
+    if (machine != kUnassigned && (machine < 0 || machine >= machines)) {
+      throw std::runtime_error(
+          "schedule JSON: machine id " + std::to_string(machine) +
+          " out of range for " + std::to_string(machines) + " machines");
+    }
+    schedule.assign(static_cast<JobId>(j), machine);
+  }
+  return schedule;
+}
+
 }  // namespace bagsched::model

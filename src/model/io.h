@@ -12,6 +12,11 @@
 //   machines <m>
 //   jobs <n>
 //   <machine>             # one line per job, -1 for unassigned
+// JSON formats (used by the service layer to move requests and results
+// across process boundaries; see README "JSON result schema"):
+//   instance: {"machines": m, "bags": b,
+//              "jobs": [{"size": s, "bag": l}, ...]}
+//   schedule: {"machines": m, "assignment": [m_0, ..., m_{n-1}]}
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +24,7 @@
 
 #include "model/instance.h"
 #include "model/schedule.h"
+#include "util/json.h"
 
 namespace bagsched::model {
 
@@ -30,5 +36,13 @@ Instance load_instance(const std::string& path);
 
 void write_schedule(std::ostream& os, const Schedule& schedule);
 Schedule read_schedule(std::istream& is);
+
+util::Json instance_to_json(const Instance& instance);
+/// Throws std::runtime_error on missing/ill-typed members; the returned
+/// instance is validate()d, so malformed documents fail loudly.
+Instance instance_from_json(const util::Json& json);
+
+util::Json schedule_to_json(const Schedule& schedule);
+Schedule schedule_from_json(const util::Json& json);
 
 }  // namespace bagsched::model

@@ -55,6 +55,7 @@ class Solver {
     best_schedule_ = start;
     best_makespan_ = start.makespan(instance_);
     lower_bound_ = model::combined_lower_bound(instance_);
+    if (options_.on_incumbent) options_.on_incumbent(best_makespan_);
 
     dfs(0, 0);
 
@@ -90,6 +91,7 @@ class Solver {
           best_schedule_.assign(
               j, assignment_[static_cast<std::size_t>(j)]);
         }
+        if (options_.on_incumbent) options_.on_incumbent(best_makespan_);
       }
       return;
     }

@@ -6,6 +6,7 @@
 // pruning, area lower bounds, and a greedy incumbent.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "model/instance.h"
@@ -19,6 +20,10 @@ struct ExactOptions {
   double time_limit_seconds = 30.0;
   /// Cooperative cancellation, polled alongside the time-limit check.
   const util::CancellationToken* cancel = nullptr;
+  /// Invoked with the incumbent makespan: once for the initial local-search
+  /// incumbent and again every time the search improves on it. Runs on the
+  /// solving thread inside the search loop — keep it cheap.
+  std::function<void(double makespan)> on_incumbent;
 };
 
 struct ExactResult {

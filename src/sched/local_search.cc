@@ -41,8 +41,8 @@ Score score_of(const std::vector<double>& loads) {
 
 }  // namespace
 
-long long improve(const Instance& instance, Schedule& schedule,
-                  const LocalSearchOptions& options) {
+LocalSearchResult improve(const Instance& instance, Schedule& schedule,
+                          const LocalSearchOptions& options) {
   const int m = instance.num_machines();
   std::vector<double> loads = schedule.loads(instance);
   // occupancy[machine][bag]
@@ -68,17 +68,36 @@ long long improve(const Instance& instance, Schedule& schedule,
     rng.shuffle(scan_order);
   }
 
-  long long accepted = 0;
+  LocalSearchResult out;
+  long long& accepted = out.accepted_moves;
+  double best_makespan = score_of(loads).makespan;
+  // Fires on_incumbent only for genuine makespan improvements; plateau
+  // moves (same makespan, fewer critical machines) stay silent.
+  const auto report = [&](const Score& current) {
+    if (current.makespan < best_makespan - 1e-12) {
+      best_makespan = current.makespan;
+      if (options.on_incumbent) options.on_incumbent(best_makespan);
+    }
+  };
   bool improved = true;
-  while (improved && accepted < options.max_moves &&
-         !util::stop_requested(options.cancel)) {
+  while (improved && accepted < options.max_moves) {
+    // `cancelled` is set only when the stop arrives before convergence was
+    // verified — a token firing after the descent already converged leaves
+    // it false, so portfolio cancellation counts stay exact.
+    if (util::stop_requested(options.cancel)) {
+      out.cancelled = true;
+      break;
+    }
     improved = false;
     Score current = score_of(loads);
 
     // Only moves involving a critical machine can improve the score, so we
     // scan jobs on critical machines first; swaps consider all partners.
     for (const JobId job_id : scan_order) {
-      if (util::stop_requested(options.cancel)) break;
+      if (util::stop_requested(options.cancel)) {
+        out.cancelled = true;
+        break;
+      }
       const auto& job = instance.job(job_id);
       const int from = schedule.machine_of(job.id);
       if (loads[static_cast<std::size_t>(from)] <
@@ -107,6 +126,7 @@ long long improve(const Instance& instance, Schedule& schedule,
           ++accepted;
           improved = true;
           current = score_of(loads);
+          report(current);
           break;
         }
       }
@@ -154,13 +174,15 @@ long long improve(const Instance& instance, Schedule& schedule,
           ++accepted;
           improved = true;
           current = score_of(loads);
+          report(current);
           break;
         }
       }
       if (improved) break;
     }
+    if (out.cancelled) break;
   }
-  return accepted;
+  return out;
 }
 
 Schedule local_search(const Instance& instance,

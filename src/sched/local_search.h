@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "model/instance.h"
 #include "model/schedule.h"
@@ -25,13 +26,25 @@ struct LocalSearchOptions {
   std::uint64_t seed = 0;
   /// Cooperative cancellation, polled between move evaluations.
   const util::CancellationToken* cancel = nullptr;
+  /// Invoked with the new makespan whenever an accepted move lowers it
+  /// (plateau moves that only shrink the critical set don't fire it).
+  std::function<void(double makespan)> on_incumbent;
+};
+
+struct LocalSearchResult {
+  long long accepted_moves = 0;
+  /// True iff the cancellation token stopped the descent before it
+  /// converged — a token that fires after the local optimum was reached
+  /// does NOT set this, so callers can count real cancellations exactly.
+  bool cancelled = false;
 };
 
 model::Schedule local_search(const model::Instance& instance,
                              const LocalSearchOptions& options = {});
 
-/// Improves an existing feasible schedule in place; returns accepted moves.
-long long improve(const model::Instance& instance, model::Schedule& schedule,
-                  const LocalSearchOptions& options = {});
+/// Improves an existing feasible schedule in place.
+LocalSearchResult improve(const model::Instance& instance,
+                          model::Schedule& schedule,
+                          const LocalSearchOptions& options = {});
 
 }  // namespace bagsched::sched

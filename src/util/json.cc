@@ -1,0 +1,455 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bagsched::util {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Json::Kind got) {
+  const char* names[] = {"null", "bool", "number", "string", "array",
+                         "object"};
+  throw std::runtime_error(std::string("json: expected ") + wanted +
+                           ", found " + names[static_cast<int>(got)]);
+}
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  // Integers (up to the 2^53 exact range) print without a decimal point.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out += buffer;
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t length = 0;
+    while (literal[length] != '\0') ++length;
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  /// Nesting guard: the recursive descent must throw on adversarially deep
+  /// documents, not overflow the stack (parse is a process-ingress path).
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > 256) parser_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
+  Json parse_object() {
+    const DepthGuard guard(*this);
+    expect('{');
+    Json object = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      object.set(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    const DepthGuard guard(*this);
+    expect('[');
+    Json array = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += 10u + (h - 'a');
+      else if (h >= 'A' && h <= 'F') code += 10u + (h - 'A');
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow, and the
+            // pair combines into one supplementary code point — emitting
+            // the halves separately would produce invalid UTF-8 (CESU-8).
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          // Encode the code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text_.substr(start, pos_ - start), &consumed);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    if (consumed != pos_ - start) fail("bad number");
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number", kind_);
+  return number_;
+}
+
+long long Json::as_int() const {
+  const double value = as_number();
+  // Guard llround's UB: reject values outside the representable range
+  // (9.2e18 ~ LLONG_MAX; the boundary itself is not exactly representable).
+  if (!(value >= -9.2233720368547698e18 && value <= 9.2233720368547698e18)) {
+    throw std::runtime_error("json: number out of integer range");
+  }
+  // Fail loudly on non-integral numbers instead of silently rounding a
+  // malformed document into a different one.
+  if (value != std::floor(value)) {
+    throw std::runtime_error("json: expected an integer, found " +
+                             std::to_string(value));
+  }
+  return static_cast<long long>(std::llround(value));
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) kind_error("string", kind_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  return object_;
+}
+
+Json& Json::push_back(Json value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  if (index >= array_.size()) {
+    throw std::out_of_range("json: array index " + std::to_string(index) +
+                            " out of range");
+  }
+  return array_[index];
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  for (auto& [existing, slot] : object_) {
+    if (existing == key) {
+      slot = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+bool Json::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [existing, value] : object_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  const Json* value = find(key);
+  if (value == nullptr) {
+    throw std::out_of_range("json: missing key \"" + key + "\"");
+  }
+  return *value;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* value = find(key);
+  return value != nullptr && value->is_number() ? value->as_number()
+                                                : fallback;
+}
+
+long long Json::int_or(const std::string& key, long long fallback) const {
+  const Json* value = find(key);
+  return value != nullptr && value->is_number() ? value->as_int() : fallback;
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  const Json* value = find(key);
+  return value != nullptr && value->is_bool() ? value->as_bool() : fallback;
+}
+
+std::string Json::string_or(const std::string& key,
+                            std::string fallback) const {
+  const Json* value = find(key);
+  return value != nullptr && value->is_string() ? value->as_string()
+                                                : std::move(fallback);
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_indent = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(d),
+               ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += bool_ ? "true" : "false"; return;
+    case Kind::Number: write_number(out, number_); return;
+    case Kind::String: write_escaped(out, string_); return;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(depth + 1);
+        write_escaped(out, object_[i].first);
+        out += pretty ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace bagsched::util

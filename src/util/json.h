@@ -1,0 +1,111 @@
+// Minimal JSON value type with a strict parser and a writer — just enough
+// for results, requests and telemetry to cross process boundaries without
+// pulling in an external dependency.
+//
+//   util::Json j = util::Json::object();
+//   j.set("solver", "eptas");
+//   j.set("makespan", 12.5);
+//   const std::string text = j.dump(2);
+//   const util::Json back = util::Json::parse(text);
+//   back["makespan"].as_number();   // 12.5
+//
+// Objects preserve insertion order (stored as a vector of pairs), so dumped
+// documents are stable across runs and friendly to golden files. Numbers
+// are doubles; integers up to 2^53 round-trip exactly and are printed
+// without a decimal point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bagsched::util {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+  Json(double value) : kind_(Kind::Number), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(long long value) : Json(static_cast<double>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::String), string_(value) {}
+  Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;  ///< as_number rounded to nearest integer
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // --- Array building / access ---------------------------------------------
+  /// Appends to an array (null values become empty arrays first).
+  Json& push_back(Json value);
+  std::size_t size() const;
+  /// Array element; throws std::out_of_range / kind mismatch.
+  const Json& at(std::size_t index) const;
+  const Json& operator[](std::size_t index) const { return at(index); }
+
+  // --- Object building / access --------------------------------------------
+  /// Inserts or replaces a key (null values become empty objects first).
+  Json& set(const std::string& key, Json value);
+  bool contains(const std::string& key) const;
+  /// Object member; throws std::out_of_range when the key is absent.
+  const Json& at(const std::string& key) const;
+  const Json& operator[](const std::string& key) const { return at(key); }
+  /// Object member, or nullptr when absent / not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Convenience lookups with fallbacks for optional members.
+  double number_or(const std::string& key, double fallback) const;
+  long long int_or(const std::string& key, long long fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+  // --- Serialization ---------------------------------------------------------
+  /// Compact when indent < 0; pretty-printed with `indent` spaces otherwise.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws std::runtime_error with position on bad input.
+  /// Rejects trailing garbage after the top-level value.
+  static Json parse(const std::string& text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace bagsched::util

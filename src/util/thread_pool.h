@@ -1,9 +1,12 @@
-// Fixed-size thread pool used to parallelize embarrassingly-parallel
-// experiment sweeps (independent (instance, eps, seed) cells).
+// Fixed-size thread pool shared by the scheduling service, the portfolio
+// runner and the experiment sweeps.
 //
-// Design follows the Core Guidelines concurrency advice: tasks are plain
-// std::function values, all shared state is owned by the pool and guarded by
-// one mutex/condvar pair, and joining happens in the destructor (RAII).
+// Design follows the Core Guidelines concurrency advice: tasks are move-only
+// callables queued as packaged_task values, all shared state is owned by the
+// pool and guarded by one mutex/condvar pair, and joining happens in the
+// destructor (RAII). submit() is a template over the callable's result type,
+// so `pool.submit([] { return compute(); })` hands back a typed
+// std::future<R> that also carries any exception the task throws.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +16,8 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace bagsched::util {
@@ -28,8 +33,23 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future reports completion/exceptions.
-  std::future<void> submit(std::function<void()> task);
+  /// Enqueues any nullary callable; the returned future reports the result
+  /// (or rethrows the task's exception on get()).
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& task) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> packaged(std::forward<F>(task));
+    std::future<R> future = packaged.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // packaged_task<void()> doubles as a move-only function wrapper; the
+      // inner task owns the result/exception, so the wrapper's own future
+      // can be dropped.
+      tasks_.emplace([inner = std::move(packaged)]() mutable { inner(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for all.
   void parallel_for(std::size_t count,

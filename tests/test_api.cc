@@ -204,6 +204,100 @@ TEST(ApiOptionsTest, CancellationStopsRunningExactSearch) {
   EXPECT_TRUE(result.ok());  // best incumbent so far still returned
 }
 
+// --- Cancellation contract -------------------------------------------------
+
+// A solver that gets cancelled but still holds an incumbent: the api layer
+// must fill makespan / schedule_feasible / gap for it (the documented
+// SolveStatus::Cancelled contract).
+class CancelWithIncumbentSolver final : public api::Solver {
+ public:
+  CancelWithIncumbentSolver()
+      : Solver({.name = "test-cancel-with-incumbent",
+                .summary = "test double",
+                .guarantee = api::Guarantee::Heuristic,
+                .guarantee_text = "none",
+                .typical_scale = "test"}) {}
+
+ protected:
+  void run(const Instance& instance, const SolveOptions&,
+           SolveResult& result) const override {
+    result.schedule = sched::greedy_bags(instance);
+    result.status = SolveStatus::Cancelled;
+  }
+};
+
+TEST(ApiCancellationContractTest, CancelledWithIncumbentKeepsUsableFields) {
+  const Instance instance = gen::by_name("uniform", 40, 8, 1);
+  const auto result = CancelWithIncumbentSolver().solve(instance);
+  EXPECT_EQ(result.status, SolveStatus::Cancelled);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.ok());  // ok() still means Optimal/Feasible
+  // ... but the incumbent is fully usable:
+  EXPECT_TRUE(result.schedule_feasible);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GE(result.makespan, result.lower_bound);
+  EXPECT_GE(result.optimality_gap, 0.0);
+}
+
+TEST(ApiCancellationContractTest, ImproveReportsCancellationExactly) {
+  const Instance instance = gen::by_name("uniform", 30, 6, 1);
+  model::Schedule schedule = sched::greedy_bags(instance);
+  sched::LocalSearchOptions options;
+  const auto converged = sched::improve(instance, schedule, options);
+  EXPECT_FALSE(converged.cancelled);
+  // Re-scanning the converged schedule with an unfired token: convergence
+  // is verified, no cancellation is reported (the pre-fix adapter would
+  // have over-counted here whenever the token fired post-convergence).
+  util::CancellationToken token;
+  options.cancel = &token;
+  const auto verified = sched::improve(instance, schedule, options);
+  EXPECT_EQ(verified.accepted_moves, 0);
+  EXPECT_FALSE(verified.cancelled);
+  // A pre-fired token stops the scan before convergence can be verified.
+  token.request_stop();
+  const auto stopped = sched::improve(instance, schedule, options);
+  EXPECT_TRUE(stopped.cancelled);
+}
+
+TEST(ApiCancellationContractTest, MilpBudgetTruncationIsNotCancellation) {
+  // A node budget stopping the MILP must not read as a cancellation, even
+  // with a token installed — only a fired token counts.
+  const Instance instance = gen::by_name("uniform", 30, 5, 1);
+  util::CancellationToken token;  // present but never fired
+  SolveOptions options;
+  options.cancel = &token;
+  options.max_nodes = 1;
+  const auto result = api::solve("milp", instance, options);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_TRUE(result.ok());  // greedy fallback still yields a schedule
+}
+
+TEST(ApiCancellationContractTest, PortfolioCancelledCountMatchesFlags) {
+  const Instance instance = gen::by_name("uniform", 60, 8, 2);
+  // Pre-fired external token: every member observes it, so cancelled_count
+  // must equal the number of runs — no more, no fewer.
+  util::CancellationToken token;
+  token.request_stop();
+  SolveOptions options;
+  options.cancel = &token;
+  const auto race = api::Portfolio({"exact", "eptas", "local-search"})
+                        .solve(instance, options);
+  int flagged = 0;
+  for (const auto& run : race.runs) {
+    if (run.cancelled) ++flagged;
+  }
+  EXPECT_EQ(flagged, 3);
+  EXPECT_EQ(race.cancelled_count, flagged);
+
+  // And with no token and no certificate racing: nothing may be counted.
+  const auto calm =
+      api::Portfolio({"greedy-bags", "bag-lpt"},
+                     {.cancel_on_certificate = false})
+          .solve(instance);
+  EXPECT_EQ(calm.cancelled_count, 0);
+  for (const auto& run : calm.runs) EXPECT_FALSE(run.cancelled);
+}
+
 // --- Portfolio -------------------------------------------------------------
 
 TEST(ApiPortfolioTest, ReturnsMinimumMakespanOfFeasibleRuns) {

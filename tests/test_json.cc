@@ -1,0 +1,293 @@
+// Tests for util::Json (parser/writer) and the JSON serialization of
+// model and api types: instances, schedules, telemetry, results, requests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "api/api.h"
+#include "model/io.h"
+#include "util/json.h"
+
+namespace bagsched {
+namespace {
+
+using util::Json;
+
+// --- util::Json ------------------------------------------------------------
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").kind(), Json::Kind::Null);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e-3").as_number(), -1e-3);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(JsonTest, DumpParseRoundTripPreservesStructure) {
+  Json doc = Json::object();
+  doc.set("name", "bagsched");
+  doc.set("count", 3);
+  doc.set("ratio", 0.125);
+  doc.set("flag", true);
+  doc.set("nothing", Json());
+  Json list = Json::array();
+  list.push_back(1);
+  list.push_back("two");
+  list.push_back(false);
+  doc.set("list", std::move(list));
+  Json nested = Json::object();
+  nested.set("inner", -7);
+  doc.set("nested", std::move(nested));
+
+  for (const int indent : {-1, 0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back["name"].as_string(), "bagsched");
+    EXPECT_EQ(back["count"].as_int(), 3);
+    EXPECT_DOUBLE_EQ(back["ratio"].as_number(), 0.125);
+    EXPECT_TRUE(back["flag"].as_bool());
+    EXPECT_TRUE(back["nothing"].is_null());
+    ASSERT_EQ(back["list"].size(), 3u);
+    EXPECT_EQ(back["list"][0].as_int(), 1);
+    EXPECT_EQ(back["list"][1].as_string(), "two");
+    EXPECT_FALSE(back["list"][2].as_bool());
+    EXPECT_EQ(back["nested"]["inner"].as_int(), -7);
+  }
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  Json doc = Json::object();
+  doc.set("z", 1);
+  doc.set("a", 2);
+  doc.set("z", 3);  // replace, not duplicate
+  EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, DoublesSurviveExactly) {
+  const double value = 7.192650113378189;
+  const Json back = Json::parse(Json(value).dump());
+  EXPECT_EQ(back.as_number(), value);  // bit-exact via %.17g
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" back\\slash \t tab \n newline \x01";
+  const Json back = Json::parse(Json(nasty).dump());
+  EXPECT_EQ(back.as_string(), nasty);
+}
+
+TEST(JsonTest, SurrogatePairsDecodeToUtf8) {
+  // \uD83D\uDE00 is U+1F600; mainstream serializers (Python ensure_ascii)
+  // emit non-BMP characters this way, so the pair must combine instead of
+  // decoding as two invalid 3-byte halves.
+  const Json parsed = Json::parse("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(parsed.as_string(), "\xF0\x9F\x98\x80");
+  // Lone or mismatched surrogates are malformed input.
+  EXPECT_THROW(Json::parse("\"\\uD83D\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\uD83Dx\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\uDE00\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\uD83D\\uD83D\""), std::runtime_error);
+}
+
+TEST(JsonTest, ParseErrorsCarryPosition) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated",
+        "[1] trailing", "{\"a\":}"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(JsonTest, DeeplyNestedInputThrowsInsteadOfOverflowing) {
+  const std::string bomb(100000, '[');
+  EXPECT_THROW(Json::parse(bomb), std::runtime_error);
+  EXPECT_THROW(Json::parse(std::string(100000, '[') +
+                           std::string(100000, ']')),
+               std::runtime_error);
+}
+
+TEST(JsonTest, NonIntegralNumbersFailAsInt) {
+  EXPECT_THROW(Json(2.7).as_int(), std::runtime_error);
+  EXPECT_EQ(Json(3.0).as_int(), 3);
+  // A fractional machine count is a malformed document, not machines=3.
+  EXPECT_THROW(model::instance_from_json(Json::parse(
+                   "{\"machines\": 2.7, \"bags\": 1, \"jobs\": []}")),
+               std::runtime_error);
+}
+
+TEST(JsonTest, KindMismatchThrows) {
+  const Json number(1.5);
+  EXPECT_THROW(number.as_string(), std::runtime_error);
+  EXPECT_THROW(number.at("key"), std::runtime_error);
+  const Json object = Json::object();
+  EXPECT_THROW(object.at("missing"), std::out_of_range);
+  EXPECT_EQ(object.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(object.number_or("missing", 2.5), 2.5);
+}
+
+// --- model JSON ------------------------------------------------------------
+
+TEST(JsonModelTest, InstanceRoundTrips) {
+  const auto instance = gen::by_name("replica", 24, 6, 3);
+  const auto back =
+      model::instance_from_json(Json::parse(
+          model::instance_to_json(instance).dump(2)));
+  ASSERT_EQ(back.num_jobs(), instance.num_jobs());
+  EXPECT_EQ(back.num_machines(), instance.num_machines());
+  EXPECT_EQ(back.num_bags(), instance.num_bags());
+  for (model::JobId j = 0; j < instance.num_jobs(); ++j) {
+    EXPECT_EQ(back.job(j).size, instance.job(j).size);
+    EXPECT_EQ(back.job(j).bag, instance.job(j).bag);
+  }
+}
+
+TEST(JsonModelTest, MalformedInstanceJsonThrows) {
+  // validate() runs on the parsed document: a bag id out of range throws.
+  const char* bad =
+      "{\"machines\": 2, \"bags\": 1, \"jobs\": [{\"size\": 1, \"bag\": 5}]}";
+  EXPECT_THROW(model::instance_from_json(Json::parse(bad)),
+               std::invalid_argument);
+  EXPECT_THROW(model::instance_from_json(Json::parse("{}")),
+               std::out_of_range);
+}
+
+TEST(JsonModelTest, ScheduleJsonRejectsOutOfRangeMachineIds) {
+  EXPECT_THROW(
+      model::schedule_from_json(Json::parse(
+          "{\"machines\": 2, \"assignment\": [5, 0]}")),
+      std::runtime_error);
+  EXPECT_THROW(
+      model::schedule_from_json(Json::parse(
+          "{\"machines\": 2, \"assignment\": [-3, 0]}")),
+      std::runtime_error);
+}
+
+TEST(JsonModelTest, ScheduleRoundTripsIncludingUnassigned) {
+  model::Schedule schedule(4, 3);
+  schedule.assign(0, 2);
+  schedule.assign(1, 0);
+  schedule.assign(3, 1);  // job 2 stays unassigned (-1)
+  const auto back = model::schedule_from_json(
+      Json::parse(model::schedule_to_json(schedule).dump()));
+  ASSERT_EQ(back.num_jobs(), 4);
+  EXPECT_EQ(back.num_machines(), 3);
+  EXPECT_EQ(back.assignment(), schedule.assignment());
+  EXPECT_FALSE(back.is_assigned(2));
+}
+
+// --- api JSON ---------------------------------------------------------------
+
+TEST(JsonApiTest, TelemetryRoundTripsWithTypes) {
+  api::Telemetry stats;
+  stats["nodes"] = 12345LL;
+  stats["gap"] = 0.0125;
+  stats["certified"] = true;
+  stats["note"] = std::string("hello world");
+  const api::Telemetry back =
+      api::telemetry_from_json(Json::parse(api::to_json(stats).dump()));
+  EXPECT_EQ(api::stat_int(back, "nodes"), 12345);
+  EXPECT_DOUBLE_EQ(api::stat_real(back, "gap"), 0.0125);
+  EXPECT_TRUE(api::stat_bool(back, "certified"));
+  EXPECT_EQ(api::stat_str(back, "note"), "hello world");
+  // The type tags keep long long and double distinct through the trip.
+  EXPECT_TRUE(std::holds_alternative<long long>(back.at("nodes")));
+  EXPECT_TRUE(std::holds_alternative<double>(back.at("gap")));
+}
+
+TEST(JsonApiTest, SixtyFourBitValuesRoundTripExactly) {
+  // Doubles top out at 2^53; bigger integers ride as decimal strings.
+  api::Telemetry stats;
+  stats["huge"] = (1LL << 62) + 12345LL;
+  const api::Telemetry back =
+      api::telemetry_from_json(Json::parse(api::to_json(stats).dump()));
+  EXPECT_EQ(api::stat_int(back, "huge"), (1LL << 62) + 12345LL);
+
+  auto request = api::make_request(gen::by_name("uniform", 8, 2, 1));
+  request.options.seed = 0xFFFFFFFFFFFFFFFFull;
+  const auto parsed = api::solve_request_from_json(
+      Json::parse(api::to_json(request).dump()));
+  EXPECT_EQ(parsed.options.seed, 0xFFFFFFFFFFFFFFFFull);
+
+  // And a number that cannot fit a long long fails loudly, not with UB.
+  EXPECT_THROW(Json(1e300).as_int(), std::runtime_error);
+}
+
+TEST(JsonApiTest, SolveResultRoundTrips) {
+  const auto instance = gen::by_name("uniform", 30, 6, 11);
+  const auto result = api::solve("local-search", instance, {.seed = 4});
+  ASSERT_TRUE(result.ok());
+
+  const auto back = api::solve_result_from_json(
+      Json::parse(api::to_json(result).dump(2)));
+  EXPECT_EQ(back.solver, result.solver);
+  EXPECT_EQ(back.status, result.status);
+  EXPECT_DOUBLE_EQ(back.makespan, result.makespan);
+  EXPECT_DOUBLE_EQ(back.lower_bound, result.lower_bound);
+  EXPECT_DOUBLE_EQ(back.optimality_gap, result.optimality_gap);
+  EXPECT_EQ(back.proven_optimal, result.proven_optimal);
+  EXPECT_EQ(back.schedule_feasible, result.schedule_feasible);
+  EXPECT_EQ(back.cancelled, result.cancelled);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, result.wall_seconds);
+  EXPECT_EQ(back.schedule.assignment(), result.schedule.assignment());
+  EXPECT_EQ(api::stat_int(back.stats, "moves"),
+            api::stat_int(result.stats, "moves"));
+  // The round-tripped schedule validates against the original instance.
+  EXPECT_TRUE(model::validate(instance, back.schedule).ok());
+}
+
+TEST(JsonApiTest, SolveResultWithoutScheduleStaysLight) {
+  const auto instance = gen::by_name("uniform", 30, 6, 11);
+  const auto result = api::solve("greedy-bags", instance);
+  const Json json = api::to_json(result, /*include_schedule=*/false);
+  EXPECT_FALSE(json.contains("schedule"));
+  const auto back = api::solve_result_from_json(json);
+  EXPECT_EQ(back.schedule.num_jobs(), 0);
+  EXPECT_DOUBLE_EQ(back.makespan, result.makespan);
+}
+
+TEST(JsonApiTest, SolveRequestRoundTrips) {
+  auto request = api::make_request(gen::by_name("twopoint", 20, 5, 2),
+                                   {.eps = 0.25, .seed = 9},
+                                   {"eptas", "local-search"});
+  request.priority = 7;
+  request.options.time_limit_seconds = 1.5;
+  request.options.max_nodes = 1234;
+  request.deadline = api::deadline_in(60.0);
+
+  auto back = api::solve_request_from_json(
+      Json::parse(api::to_json(request).dump()));
+  ASSERT_NE(back.instance, nullptr);
+  EXPECT_EQ(back.instance->num_jobs(), request.instance->num_jobs());
+  EXPECT_EQ(back.instance->num_machines(),
+            request.instance->num_machines());
+  EXPECT_DOUBLE_EQ(back.options.eps, 0.25);
+  EXPECT_EQ(back.options.seed, 9u);
+  EXPECT_DOUBLE_EQ(back.options.time_limit_seconds, 1.5);
+  EXPECT_EQ(back.options.max_nodes, 1234);
+  EXPECT_EQ(back.solvers,
+            (std::vector<std::string>{"eptas", "local-search"}));
+  EXPECT_EQ(back.priority, 7);
+  // The relative deadline re-anchors to now(): still roughly a minute out.
+  ASSERT_TRUE(back.deadline.has_value());
+  const double remaining =
+      std::chrono::duration<double>(*back.deadline -
+                                    api::ServiceClock::now())
+          .count();
+  EXPECT_GT(remaining, 55.0);
+  EXPECT_LT(remaining, 65.0);
+  // A deserialized request is directly runnable.
+  api::SchedulingService service({.num_threads = 2});
+  auto handle = service.submit(std::move(back));
+  const auto& result = handle.wait();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.schedule_feasible);
+}
+
+TEST(JsonApiTest, UnknownStatusThrows) {
+  EXPECT_THROW(api::solve_status_from_string("bogus"), std::runtime_error);
+  EXPECT_EQ(api::solve_status_from_string("cancelled"),
+            api::SolveStatus::Cancelled);
+}
+
+}  // namespace
+}  // namespace bagsched

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "util/csv.h"
 #include "util/fraction.h"
@@ -155,6 +157,27 @@ TEST(ThreadPoolTest, RunsAllTasks) {
 TEST(ThreadPoolTest, PropagatesExceptions) {
   ThreadPool pool(2);
   auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTypedFutures) {
+  ThreadPool pool(2);
+  std::future<int> answer = pool.submit([] { return 6 * 7; });
+  std::future<std::string> text =
+      pool.submit([] { return std::string("hello"); });
+  // Move-only callables are accepted too.
+  auto owned = std::make_unique<int>(5);
+  std::future<int> moved =
+      pool.submit([owned = std::move(owned)] { return *owned; });
+  EXPECT_EQ(answer.get(), 42);
+  EXPECT_EQ(text.get(), "hello");
+  EXPECT_EQ(moved.get(), 5);
+}
+
+TEST(ThreadPoolTest, TypedSubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  std::future<int> future =
+      pool.submit([]() -> int { throw std::runtime_error("typed boom"); });
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
