@@ -3,14 +3,22 @@
 // implementation that maps to columns (patterns) and branch-and-bound
 // nodes. The table reports both across instance shapes, plus raw
 // LP/MILP-substrate timings.
+//
+// The harness section measures whole-problem assignment-MILP node
+// throughput (nodes/second through the zero-copy B&B with warm-started
+// LPs) and writes BENCH_milp.json for regression tracking
+// (--bench-json / --bench-reps, see harness.h).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 
+#include "api/api.h"
 #include "eptas/classify.h"
 #include "eptas/milp_model.h"
 #include "eptas/transform.h"
 #include "gen/generators.h"
+#include "harness.h"
 #include "lp/simplex.h"
 #include "milp/branch_and_bound.h"
 #include "model/lower_bounds.h"
@@ -136,10 +144,59 @@ void BM_MasterSolve(benchmark::State& state) {
 BENCHMARK(BM_MasterSolve)->Arg(6)->Arg(12)->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
+/// Assignment-MILP node throughput on the standard instance set, via the
+/// registered "milp" solver (which builds the x_ji model).
+void run_harness_cases(bagsched::bench::Harness& harness) {
+  namespace api = bagsched::api;
+  const api::Solver& milp_solver =
+      api::SolverRegistry::global().resolve("milp");
+  struct Spec {
+    const char* family;
+    int jobs;
+    int machines;
+    std::uint64_t seed;
+  };
+  const Spec specs[] = {
+      {"twopoint", 12, 3, 1},
+      {"twopoint", 14, 4, 2},
+      {"twopoint", 16, 4, 3},
+      {"uniform", 12, 4, 1},
+  };
+  const int reps = harness.reps(3);
+  for (const Spec& spec : specs) {
+    const auto instance =
+        gen::by_name(spec.family, spec.jobs, spec.machines, spec.seed);
+    const std::string label = std::string(spec.family) + "-" +
+                              std::to_string(spec.jobs) + "x" +
+                              std::to_string(spec.machines) + "-s" +
+                              std::to_string(spec.seed);
+    api::SolveResult result;
+    auto& entry = harness.run_case(label, reps, [&] {
+      api::SolveOptions options;
+      options.time_limit_seconds = 120.0;
+      result = milp_solver.solve(instance, options);
+    });
+    const long long nodes = api::stat_int(result.stats, "nodes");
+    entry.metrics.set("nodes", nodes);
+    entry.metrics.set("lp_iterations",
+                      api::stat_int(result.stats, "lp_iterations"));
+    entry.metrics.set("makespan", result.makespan);
+    entry.metrics.set("proven_optimal", result.proven_optimal);
+    entry.metrics.set("nodes_per_second",
+                      entry.median_seconds > 0.0
+                          ? static_cast<double>(nodes) /
+                                entry.median_seconds
+                          : 0.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bagsched::bench::Harness harness("milp", &argc, argv);
   print_master_table();
+  run_harness_cases(harness);
+  if (!harness.finish(std::cout)) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

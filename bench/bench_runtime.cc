@@ -2,12 +2,15 @@
 // fixed eps (the f(1/eps) * poly(n) form). The n-sweep benchmarks the
 // poly(n) part; the eps-sweep exposes the f(1/eps) blow-up. Driven through
 // the unified bagsched::api layer; the EPTAS internals are read back from
-// the result telemetry.
+// the result telemetry. Rows are timed through the regression harness and
+// land in BENCH_runtime.json (--bench-json / --bench-reps, see harness.h).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 
 #include "api/api.h"
+#include "harness.h"
 #include "util/csv.h"
 
 namespace {
@@ -18,7 +21,8 @@ const api::Solver& eptas() {
   return api::SolverRegistry::global().resolve("eptas");
 }
 
-void print_scaling_table() {
+void print_scaling_table(bagsched::bench::Harness& harness) {
+  const int reps = harness.reps(3);
   bagsched::util::Table table(
       {"sweep", "n", "m", "eps", "seconds", "guesses", "columns"});
   // n-sweep at fixed eps = 1/2.
@@ -31,13 +35,22 @@ void print_scaling_table() {
                                 .max_jobs_per_machine = 6,
                                 .target = 1.0,
                                 .seed = 7});
-    const auto result = eptas().solve(planted.instance, {.eps = 0.5});
+    api::SolveResult result;
+    auto& entry = harness.run_case(
+        "n-sweep/m" + std::to_string(m), reps,
+        [&] { result = eptas().solve(planted.instance, {.eps = 0.5}); });
+    entry.metrics.set("n",
+                      static_cast<long long>(planted.instance.num_jobs()));
+    entry.metrics.set("m", static_cast<long long>(m));
+    entry.metrics.set("eps", 0.5);
+    entry.metrics.set("guesses", api::stat_int(result.stats, "guesses"));
+    entry.metrics.set("columns", api::stat_int(result.stats, "columns"));
     table.row()
         .add("n")
         .add(planted.instance.num_jobs())
         .add(m)
         .add(0.5, 3)
-        .add(result.wall_seconds, 4)
+        .add(entry.median_seconds, 4)
         .add(api::stat_int(result.stats, "guesses"))
         .add(api::stat_int(result.stats, "columns"));
   }
@@ -50,13 +63,22 @@ void print_scaling_table() {
                                 .max_jobs_per_machine = 6,
                                 .target = 1.0,
                                 .seed = 7});
-    const auto result = eptas().solve(planted.instance, {.eps = eps});
+    api::SolveResult result;
+    auto& entry = harness.run_case(
+        "eps-sweep/" + std::to_string(eps).substr(0, 5), reps,
+        [&] { result = eptas().solve(planted.instance, {.eps = eps}); });
+    entry.metrics.set("n",
+                      static_cast<long long>(planted.instance.num_jobs()));
+    entry.metrics.set("m", 8);
+    entry.metrics.set("eps", eps);
+    entry.metrics.set("guesses", api::stat_int(result.stats, "guesses"));
+    entry.metrics.set("columns", api::stat_int(result.stats, "columns"));
     table.row()
         .add("eps")
         .add(planted.instance.num_jobs())
         .add(8)
         .add(eps, 3)
-        .add(result.wall_seconds, 4)
+        .add(entry.median_seconds, 4)
         .add(api::stat_int(result.stats, "guesses"))
         .add(api::stat_int(result.stats, "columns"));
   }
@@ -104,7 +126,9 @@ BENCHMARK(BM_EptasVsEps)->Arg(80)->Arg(50)->Arg(40)->Arg(33)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling_table();
+  bagsched::bench::Harness harness("runtime", &argc, argv);
+  print_scaling_table(harness);
+  if (!harness.finish(std::cout)) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

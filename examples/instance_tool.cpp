@@ -16,11 +16,13 @@
 // instance, and inspect bounds.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/api.h"
 #include "model/io.h"
+#include "util/json.h"
 
 namespace {
 
@@ -35,6 +37,7 @@ int usage() {
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
+      "  instance_tool jsoncheck <file.json>\n"
       "families:";
   for (const auto& family : bagsched::api::instance_families()) {
     std::cerr << " " << family;
@@ -213,6 +216,23 @@ int main(int argc, char** argv) {
                   << "\t" << info.guarantee_text << "\t(" << info.typical_scale
                   << ")\t" << info.summary << "\n";
       }
+      return 0;
+    }
+    if (command == "jsoncheck" && args.size() == 1) {
+      // Strict-parse a JSON document (e.g. a BENCH_*.json emitted by the
+      // bench harness) through util::Json; CI uses this to make sure the
+      // perf tooling's output cannot silently rot.
+      std::ifstream in(args[0]);
+      if (!in) {
+        std::cerr << "jsoncheck: cannot open " << args[0] << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const auto parsed = bagsched::util::Json::parse(buffer.str());
+      std::cout << args[0] << ": valid JSON ("
+                << (parsed.is_object() ? "object" : "non-object")
+                << ", " << buffer.str().size() << " bytes)\n";
       return 0;
     }
   } catch (const std::exception& error) {

@@ -4,8 +4,8 @@
 //   const auto& solver = api::SolverRegistry::global().resolve("eptas");
 //   const auto result = solver.solve(instance, {.eps = 0.25});
 //
-// Registered names: "eptas", "exact", "milp", "lpt", "bag-lpt",
-// "greedy-bags", "multifit", "local-search", "greedy-stack".
+// Registered names: "eptas", "exact", "exact-parallel", "milp", "lpt",
+// "bag-lpt", "greedy-bags", "multifit", "local-search", "greedy-stack".
 #pragma once
 
 #include <memory>

@@ -57,6 +57,9 @@ struct SolveOptions {
   long long max_nodes = 50'000'000;
   /// Accepted-move budget for local search.
   long long max_moves = 200'000;
+  /// Worker threads for the parallel solvers ("exact-parallel");
+  /// 0 = hardware concurrency.
+  int num_threads = 0;
   /// Binary-search refinements for multifit.
   int multifit_iterations = 24;
   /// PRNG seed: reaches gen::generators (via make_instance) and the

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "eptas/eptas.h"
@@ -15,6 +16,7 @@
 #include "milp/branch_and_bound.h"
 #include "sched/bag_lpt.h"
 #include "sched/exact.h"
+#include "sched/exact_parallel.h"
 #include "sched/greedy_bags.h"
 #include "sched/local_search.h"
 #include "sched/lpt.h"
@@ -135,6 +137,41 @@ class ExactSolver final : public Solver {
   }
 };
 
+class ExactParallelSolver final : public Solver {
+ public:
+  ExactParallelSolver()
+      : Solver({.name = "exact-parallel",
+                .summary = "work-stealing parallel branch-and-bound",
+                .guarantee = Guarantee::Exact,
+                .exact = true,
+                .respects_bags = true,
+                .guarantee_text = "optimal within node/time budget",
+                .typical_scale = "n <= ~28 (threads permitting)"}) {}
+
+  void run(const model::Instance& instance, const SolveOptions& options,
+           SolveResult& result) const override {
+    sched::ExactParallelOptions native_options;
+    native_options.base.max_nodes = options.max_nodes;
+    native_options.base.time_limit_seconds = options.time_limit_seconds;
+    native_options.base.cancel = options.cancel;
+    native_options.base.on_incumbent = incumbent_emitter(options, name());
+    native_options.num_threads = options.num_threads;
+
+    const auto native =
+        sched::solve_exact_parallel(instance, native_options);
+    result.schedule = native.schedule;
+    result.proven_optimal = native.proven_optimal;
+    result.cancelled = native.cancelled;
+    result.stats["nodes"] = native.nodes;
+    result.stats["proven_optimal"] = native.proven_optimal;
+    result.stats["threads"] = static_cast<long long>(
+        native_options.num_threads > 0
+            ? native_options.num_threads
+            : static_cast<int>(std::max(
+                  1u, std::thread::hardware_concurrency())));
+  }
+};
+
 class MilpSolver final : public Solver {
  public:
   MilpSolver()
@@ -207,6 +244,7 @@ class MilpSolver final : public Solver {
     const auto native =
         milp::solve(lp_model, integer_variables, native_options);
     result.stats["nodes"] = native.nodes_explored;
+    result.stats["lp_iterations"] = native.lp_iterations;
     result.stats["milp_status"] = std::string(milp::to_string(native.status));
     // Exact attribution from the search itself: a token that fired after
     // the budget already stopped the run doesn't count as a cancellation.
@@ -224,7 +262,12 @@ class MilpSolver final : public Solver {
         }
       }
       result.proven_optimal = native.status == milp::MilpStatus::Optimal;
-      result.stats["best_bound"] = native.best_bound;
+      // best_bound is -inf when the search stopped before bounding the
+      // root; infinities don't survive JSON telemetry, so only report
+      // proven finite bounds.
+      if (std::isfinite(native.best_bound)) {
+        result.stats["best_bound"] = native.best_bound;
+      }
       return;
     }
     if (result.cancelled) {
@@ -365,6 +408,7 @@ std::vector<std::unique_ptr<Solver>> make_builtin_solvers() {
   std::vector<std::unique_ptr<Solver>> solvers;
   solvers.push_back(std::make_unique<EptasSolver>());
   solvers.push_back(std::make_unique<ExactSolver>());
+  solvers.push_back(std::make_unique<ExactParallelSolver>());
   solvers.push_back(std::make_unique<MilpSolver>());
   solvers.push_back(std::make_unique<LptSolver>());
   solvers.push_back(std::make_unique<BagLptSolver>());

@@ -7,11 +7,16 @@
 //    in both simplicity and constant factors;
 //  * Dantzig pricing with an automatic switch to Bland's rule after a burn-in
 //    proportional to the problem size, guaranteeing termination;
-//  * variable lower bounds handled by shifting, upper bounds by explicit
-//    rows (branch-and-bound only ever adds bounds, so this keeps the node
-//    LPs trivially re-buildable).
+//  * variable lower bounds handled by shifting; upper bounds by the
+//    bounded-variable simplex (nonbasic columns rest at either bound and
+//    bound hits become O(rows) flips), so the branch-and-bound's box
+//    tightenings never change the tableau shape — the property the warm
+//    starts and the persistent IncrementalSimplex build on;
+//  * dual-simplex repair pivots for warm starts: a previously optimal
+//    basis stays dual feasible under pure bound/RHS changes.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "lp/model.h"
@@ -19,6 +24,18 @@
 namespace bagsched::lp {
 
 enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// A simplex basis snapshot: which tableau column is basic in each
+/// standardized row, plus the at-upper flag of every nonbasic column
+/// (variable upper bounds are handled by the bounded-variable simplex, not
+/// by explicit rows). Opaque to callers except as a warm-start hint for a
+/// re-solve of the same model with tightened variable bounds: the column
+/// layout depends only on the constraint senses, which bound tightening
+/// never changes.
+struct Basis {
+  std::vector<int> columns;             ///< one per standardized row
+  std::vector<unsigned char> at_upper;  ///< one per tableau column
+};
 
 struct LpResult {
   SolveStatus status = SolveStatus::IterationLimit;
@@ -29,6 +46,11 @@ struct LpResult {
   /// problem). Only filled on Optimal. For Maximize models the duals refer
   /// to the internally minimized (-objective) problem.
   std::vector<double> duals;
+  /// Optimal basis, filled on Optimal by lp::solve (see Basis).
+  /// IncrementalSimplex::resolve leaves it empty — its warm state lives in
+  /// the persistent tableau, and snapshotting per node would dominate the
+  /// branch-and-bound loop it serves.
+  Basis basis;
   long long iterations = 0;
 };
 
@@ -38,7 +60,42 @@ struct SimplexOptions {
 };
 
 /// Solves the model; result.x has one entry per model variable.
-LpResult solve(const Model& model, const SimplexOptions& options = {});
+/// `warm_basis` (optional) is a basis returned by a previous solve of a
+/// structurally identical model (same constraints, bounds possibly
+/// tightened). The basis stays dual feasible under such bound changes, so
+/// the re-solve runs dual-simplex repair pivots instead of simplex
+/// phase 1; a stale basis silently cold-starts.
+LpResult solve(const Model& model, const SimplexOptions& options = {},
+               const Basis* warm_basis = nullptr);
+
+/// Persistent simplex for branch-and-bound: one tableau kept across many
+/// re-solves of the same model under changing variable bounds.
+///
+/// Bound tightenings change only the standardized right-hand side, never
+/// the matrix, so each resolve() recomputes the basic solution through the
+/// implicit inverse basis (O(rows^2)) and repairs primal feasibility with
+/// a handful of dual-simplex pivots — no model copy, no re-standardization
+/// and no phase 1. Requires that re-solves only tighten bounds and that
+/// every variable acquiring a finite upper bound already had one at
+/// construction (otherwise the standardized row structure would change —
+/// callers like milp::solve check this precondition up front).
+class IncrementalSimplex {
+ public:
+  explicit IncrementalSimplex(const Model& model,
+                              const SimplexOptions& options = {});
+  ~IncrementalSimplex();
+  IncrementalSimplex(IncrementalSimplex&&) noexcept;
+  IncrementalSimplex& operator=(IncrementalSimplex&&) noexcept;
+
+  /// Re-solves against the variable bounds currently stored in `model`
+  /// (which must be the construction model, possibly with tightened
+  /// bounds). The first call performs the one full cold solve.
+  LpResult resolve(const Model& model);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 const char* to_string(SolveStatus status);
 

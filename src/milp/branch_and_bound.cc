@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <queue>
+#include <tuple>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -17,21 +21,58 @@ struct Node {
   std::vector<std::pair<int, double>> lower_overrides;
   std::vector<std::pair<int, double>> upper_overrides;
   double bound = -std::numeric_limits<double>::infinity();
+  // Optimal basis of the parent LP, shared by both children: it stays dual
+  // feasible under the bound tightening, so the child LP runs dual-simplex
+  // repair pivots instead of simplex phase 1. Only used on the fallback
+  // path — with the persistent IncrementalSimplex the warm state lives in
+  // the tableau itself.
+  std::shared_ptr<const lp::Basis> warm_basis;
 
   // Best-bound search: smaller LP bound first (minimization).
   bool operator<(const Node& other) const { return bound > other.bound; }
 };
 
-void apply_overrides(lp::Model& model, const Node& node) {
-  for (const auto& [var, lb] : node.lower_overrides) {
-    model.mutable_variable(var).lower =
-        std::max(model.variable(var).lower, lb);
+/// Applies the node's bound overrides to the shared model, recording undo
+/// entries; returns false when the overrides cross (empty branch).
+class BoundDelta {
+ public:
+  BoundDelta(lp::Model& model, const Node& node, double tol)
+      : model_(model) {
+    undo_.reserve(node.lower_overrides.size() +
+                  node.upper_overrides.size());
+    for (const auto& [var, lb] : node.lower_overrides) {
+      lp::Variable& v = model_.mutable_variable(var);
+      undo_.emplace_back(var, v.lower, v.upper);
+      v.lower = std::max(v.lower, lb);
+      if (v.lower > v.upper + tol) crossed_ = true;
+    }
+    for (const auto& [var, ub] : node.upper_overrides) {
+      lp::Variable& v = model_.mutable_variable(var);
+      undo_.emplace_back(var, v.lower, v.upper);
+      v.upper = std::min(v.upper, ub);
+      if (v.lower > v.upper + tol) crossed_ = true;
+    }
   }
-  for (const auto& [var, ub] : node.upper_overrides) {
-    model.mutable_variable(var).upper =
-        std::min(model.variable(var).upper, ub);
+
+  ~BoundDelta() {
+    // Reverse order restores variables touched more than once.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      lp::Variable& v = model_.mutable_variable(std::get<0>(*it));
+      v.lower = std::get<1>(*it);
+      v.upper = std::get<2>(*it);
+    }
   }
-}
+
+  BoundDelta(const BoundDelta&) = delete;
+  BoundDelta& operator=(const BoundDelta&) = delete;
+
+  bool crossed() const { return crossed_; }
+
+ private:
+  lp::Model& model_;
+  std::vector<std::tuple<int, double, double>> undo_;
+  bool crossed_ = false;
+};
 
 /// Most-fractional branching variable; -1 when integral.
 int pick_branch_variable(const std::vector<double>& x,
@@ -60,19 +101,49 @@ MilpResult solve(const lp::Model& root_model,
   MilpResult result;
 
   const bool maximize = root_model.objective() == lp::Objective::Maximize;
-  // Internally minimize: flip the incumbent comparison via sign.
+  // Internally minimize: flip the sense and objective once at the root
+  // instead of copying + flipping at every node; `sign` maps objective
+  // values back to the model's orientation.
   const double sign = maximize ? -1.0 : 1.0;
+  lp::Model work = root_model;  // the only model copy of the whole search
+  if (maximize) {
+    work.set_objective(lp::Objective::Minimize);
+    for (int v = 0; v < work.num_variables(); ++v) {
+      work.mutable_variable(v).objective = -work.variable(v).objective;
+    }
+  }
+
+  // One persistent tableau for the whole search when the structure allows
+  // it (every branched variable must already have a finite upper bound, so
+  // bound tightening can never add standardized rows). Otherwise each node
+  // re-solves with the parent basis as a warm start.
+  bool incremental_ok = true;
+  for (const int var : integer_variables) {
+    if (!std::isfinite(work.variable(var).upper)) {
+      incremental_ok = false;
+      break;
+    }
+  }
+  std::optional<lp::IncrementalSimplex> incremental;
+  if (incremental_ok) incremental.emplace(work, options.lp_options);
 
   double incumbent_value = std::numeric_limits<double>::infinity();
   std::vector<double> incumbent;
 
   std::priority_queue<Node> open;
   open.push(Node{});
+  // Plunging: after branching, dive straight into one child instead of
+  // returning to the best-bound queue. Consecutive LPs then differ by a
+  // single bound, which keeps the dual-simplex warm-start repair to a few
+  // pivots; the other child goes to the queue as usual.
+  std::optional<Node> dive;
 
-  double best_open_bound = -std::numeric_limits<double>::infinity();
+  // Tightest bound among nodes dropped on an LP iteration limit: they are
+  // no longer searched, so the proven bound may not rise above them.
+  double dropped_bound = std::numeric_limits<double>::infinity();
   bool truncated = false;
 
-  while (!open.empty()) {
+  while (dive.has_value() || !open.empty()) {
     const bool stopped = util::stop_requested(options.cancel);
     if (stopped || result.nodes_explored >= options.max_nodes ||
         timer.seconds() > options.time_limit_seconds) {
@@ -80,8 +151,14 @@ MilpResult solve(const lp::Model& root_model,
       result.cancelled = stopped;
       break;
     }
-    Node node = open.top();
-    open.pop();
+    Node node;
+    if (dive.has_value()) {
+      node = std::move(*dive);
+      dive.reset();
+    } else {
+      node = open.top();
+      open.pop();
+    }
     ++result.nodes_explored;
 
     // Bound-based pruning against the incumbent.
@@ -91,43 +168,32 @@ MilpResult solve(const lp::Model& root_model,
       continue;
     }
 
-    lp::Model model = root_model;  // root copy + bound overrides
-    apply_overrides(model, node);
+    // Apply this node's bound overrides in place; the delta undoes itself
+    // when the iteration ends (zero model copies per node).
+    BoundDelta delta(work, node, options.integrality_tolerance);
+    if (delta.crossed()) continue;  // crossed bounds: empty branch
 
-    // Quick reject: crossed bounds mean the branch is empty.
-    bool crossed = false;
-    for (int v = 0; v < model.num_variables(); ++v) {
-      if (model.variable(v).lower >
-          model.variable(v).upper + options.integrality_tolerance) {
-        crossed = true;
-        break;
-      }
-    }
-    if (crossed) continue;
-
-    lp::Model minimized = model;
-    if (maximize) {
-      minimized.set_objective(lp::Objective::Minimize);
-      for (int v = 0; v < minimized.num_variables(); ++v) {
-        minimized.mutable_variable(v).objective =
-            -minimized.variable(v).objective;
-      }
-    }
-    const lp::LpResult lp_result = lp::solve(minimized, options.lp_options);
+    lp::LpResult lp_result =
+        incremental
+            ? incremental->resolve(work)
+            : lp::solve(work, options.lp_options,
+                        node.warm_basis ? node.warm_basis.get() : nullptr);
+    result.lp_iterations += lp_result.iterations;
     if (lp_result.status == lp::SolveStatus::Infeasible) continue;
     if (lp_result.status == lp::SolveStatus::Unbounded) {
       // Integral restriction of an unbounded relaxation: report and stop.
       result.status = MilpStatus::LimitReached;
+      result.best_bound = sign * -std::numeric_limits<double>::infinity();
       return result;
     }
     if (lp_result.status == lp::SolveStatus::IterationLimit) {
       truncated = true;  // dropped a node we could not bound
+      dropped_bound = std::min(dropped_bound, node.bound);
       continue;
     }
 
-    const double node_bound = lp_result.objective * (maximize ? -1.0 : 1.0) *
-                              sign;  // value in minimization orientation
-    best_open_bound = std::max(best_open_bound, node.bound);
+    // The work model is already minimization-oriented.
+    const double node_bound = lp_result.objective;
     if (!incumbent.empty() &&
         node_bound >= incumbent_value -
                           options.relative_gap * std::abs(incumbent_value)) {
@@ -154,35 +220,63 @@ MilpResult solve(const lp::Model& root_model,
     }
 
     const double value = lp_result.x[static_cast<std::size_t>(branch_var)];
+    // With the persistent tableau the warm basis lives in the tableau
+    // itself; per-node bases are only kept on the fallback path.
+    std::shared_ptr<const lp::Basis> warm;
+    if (!incremental) {
+      warm = std::make_shared<const lp::Basis>(std::move(lp_result.basis));
+    }
     Node down = node;
     down.bound = node_bound;
+    down.warm_basis = warm;
     down.upper_overrides.emplace_back(branch_var, std::floor(value));
-    Node up = node;
+    Node up = std::move(node);
     up.bound = node_bound;
+    up.warm_basis = std::move(warm);
     up.lower_overrides.emplace_back(branch_var, std::ceil(value));
-    open.push(std::move(down));
-    open.push(std::move(up));
+    // Dive into the child the fractional value leans towards; the sibling
+    // joins the best-bound queue.
+    if (value - std::floor(value) <= 0.5) {
+      dive = std::move(down);
+      open.push(std::move(up));
+    } else {
+      dive = std::move(up);
+      open.push(std::move(down));
+    }
   }
 
+  // Proven lower bound (minimization orientation) over everything still
+  // unexplored: the open set (its top has the smallest bound) and any
+  // nodes dropped on LP iteration limits.
+  double unexplored_bound = std::numeric_limits<double>::infinity();
+  if (!open.empty()) unexplored_bound = open.top().bound;
+  if (dive.has_value()) {
+    unexplored_bound = std::min(unexplored_bound, dive->bound);
+  }
+  unexplored_bound = std::min(unexplored_bound, dropped_bound);
+
   if (incumbent.empty()) {
-    // Exhausting the tree without truncation proves infeasibility.
+    // Exhausting the tree without truncation proves infeasibility. On a
+    // truncated exit the tightest unexplored bound is still a valid bound
+    // on any integral solution, so callers see a correct gap.
     result.status =
         truncated ? MilpStatus::LimitReached : MilpStatus::Infeasible;
+    if (truncated) result.best_bound = sign * unexplored_bound;
     return result;
   }
 
   result.x = std::move(incumbent);
   result.objective = sign * incumbent_value;
-  result.best_bound = sign * (open.empty()
-                                  ? incumbent_value
-                                  : std::min(incumbent_value,
-                                             open.top().bound));
-  result.status =
-      open.empty() ? MilpStatus::Optimal : MilpStatus::Feasible;
+  result.best_bound =
+      sign * std::min(incumbent_value, unexplored_bound);
+  const bool exhausted =
+      open.empty() && !dive.has_value() &&
+      dropped_bound == std::numeric_limits<double>::infinity();
+  result.status = exhausted ? MilpStatus::Optimal : MilpStatus::Feasible;
   // Tight gap also counts as proven optimal.
   if (result.status == MilpStatus::Feasible) {
     const double gap =
-        std::abs(incumbent_value - open.top().bound) /
+        std::abs(incumbent_value - unexplored_bound) /
         std::max(1.0, std::abs(incumbent_value));
     if (gap <= options.relative_gap) result.status = MilpStatus::Optimal;
   }

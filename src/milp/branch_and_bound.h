@@ -3,8 +3,12 @@
 // Together with the simplex this replaces the paper's theoretical
 // Kannan/Lenstra fixed-dimension MILP oracle: the EPTAS only requires *some*
 // exact solver for its pattern MILP, and best-bound B&B is exact. Branching
-// tightens variable bounds only, so every node LP is the root model with
-// adjusted bounds — cheap to rebuild and re-solve at our sizes.
+// tightens variable bounds only, so nodes are zero-copy: one mutable model
+// carries apply/undo bound deltas, the maximize->minimize flip happens once
+// at the root, and node LPs warm-start from the parent basis (or, when all
+// integer variables are boxed, from a persistent lp::IncrementalSimplex
+// tableau) via dual-simplex repair pivots. Best-bound node order with
+// plunging dives keeps consecutive LPs one bound apart.
 #pragma once
 
 #include <functional>
@@ -43,7 +47,13 @@ struct MilpResult {
   double objective = 0.0;
   std::vector<double> x;
   long long nodes_explored = 0;
-  double best_bound = 0.0;  ///< proven bound on the optimum (minimization)
+  /// Proven bound on the optimum, in the model's objective orientation
+  /// (a lower bound when minimizing, an upper bound when maximizing).
+  /// Valid on every exit, including truncated LimitReached runs, so
+  /// callers can compute a correct optimality gap; +-infinity when the
+  /// search stopped before bounding the root relaxation.
+  double best_bound = 0.0;
+  long long lp_iterations = 0;  ///< simplex iterations across all node LPs
   /// True iff the cancellation token (not the node/time budget) stopped
   /// the search, so callers can count real cancellations exactly.
   bool cancelled = false;

@@ -7,6 +7,7 @@
 #include "model/lower_bounds.h"
 #include "sched/greedy_bags.h"
 #include "sched/local_search.h"
+#include "util/bitset64.h"
 #include "util/stopwatch.h"
 
 namespace bagsched::sched {
@@ -22,12 +23,10 @@ class Solver {
  public:
   Solver(const Instance& instance, const ExactOptions& options)
       : instance_(instance), options_(options),
+        check_mask_(check_interval_mask(options.check_interval)),
         loads_(static_cast<std::size_t>(instance.num_machines()), 0.0),
-        occupancy_(static_cast<std::size_t>(instance.num_machines()),
-                   std::vector<bool>(
-                       static_cast<std::size_t>(
-                           std::max(instance.num_bags(), 1)),
-                       false)),
+        occupancy_(instance.num_machines(),
+                   std::max(instance.num_bags(), 1)),
         assignment_(static_cast<std::size_t>(instance.num_jobs()),
                     model::kUnassigned) {
     // LPT order maximizes pruning power near the root.
@@ -41,23 +40,24 @@ class Solver {
       }
       return a < b;
     });
-    // Suffix areas for the area lower bound at every depth.
-    suffix_area_.assign(order_.size() + 1, 0.0);
-    for (std::size_t i = order_.size(); i-- > 0;) {
-      suffix_area_[i] =
-          suffix_area_[i + 1] + instance.job(order_[i]).size;
-    }
+    // The loads always sum to the assigned prefix area, so the area lower
+    // bound (assigned + remaining) / m is the same constant at every node.
+    double total_area = 0.0;
+    for (const JobId j : order_) total_area += instance.job(j).size;
+    area_bound_ = total_area / instance.num_machines();
   }
 
   ExactResult run() {
     // Incumbent: local search (always feasible, usually near-optimal).
-    Schedule start = local_search(instance_, LocalSearchOptions{20000});
+    LocalSearchOptions start_options;
+    start_options.max_moves = 20000;
+    Schedule start = local_search(instance_, start_options);
     best_schedule_ = start;
     best_makespan_ = start.makespan(instance_);
     lower_bound_ = model::combined_lower_bound(instance_);
     if (options_.on_incumbent) options_.on_incumbent(best_makespan_);
 
-    dfs(0, 0);
+    dfs(0, 0, 0.0);
 
     ExactResult result;
     result.schedule = best_schedule_;
@@ -69,24 +69,26 @@ class Solver {
   }
 
  private:
-  void dfs(std::size_t depth, int used_machines) {
+  void dfs(std::size_t depth, int used_machines, double current_max) {
     if (aborted_) return;
-    if (++nodes_ > options_.max_nodes ||
-        (nodes_ % 16384 == 0 &&
-         timer_.seconds() > options_.time_limit_seconds)) {
+    if (++nodes_ > options_.max_nodes) {
       aborted_ = true;
       return;
     }
-    if (nodes_ % 1024 == 0 && util::stop_requested(options_.cancel)) {
-      aborted_ = true;
-      cancelled_ = true;
-      return;
+    if ((nodes_ & check_mask_) == 0) {
+      if (timer_.seconds() > options_.time_limit_seconds) {
+        aborted_ = true;
+        return;
+      }
+      if (util::stop_requested(options_.cancel)) {
+        aborted_ = true;
+        cancelled_ = true;
+        return;
+      }
     }
     if (depth == order_.size()) {
-      double makespan = 0.0;
-      for (double l : loads_) makespan = std::max(makespan, l);
-      if (makespan < best_makespan_ - 1e-12) {
-        best_makespan_ = makespan;
+      if (current_max < best_makespan_ - 1e-12) {
+        best_makespan_ = current_max;
         for (JobId j = 0; j < instance_.num_jobs(); ++j) {
           best_schedule_.assign(
               j, assignment_[static_cast<std::size_t>(j)]);
@@ -95,16 +97,7 @@ class Solver {
       }
       return;
     }
-    // Area bound over remaining jobs.
-    double current_max = 0.0;
-    double total_load = 0.0;
-    for (double l : loads_) {
-      current_max = std::max(current_max, l);
-      total_load += l;
-    }
-    const double area_bound =
-        (total_load + suffix_area_[depth]) / instance_.num_machines();
-    if (std::max(current_max, area_bound) >= best_makespan_ - 1e-12) {
+    if (std::max(current_max, area_bound_) >= best_makespan_ - 1e-12) {
       return;
     }
     if (best_makespan_ <= lower_bound_ + 1e-12) {
@@ -120,35 +113,42 @@ class Solver {
     const int machine_limit =
         std::min(instance_.num_machines(), used_machines + 1);
     for (int machine = 0; machine < machine_limit; ++machine) {
-      if (occupancy_[static_cast<std::size_t>(machine)]
-                    [static_cast<std::size_t>(bag)]) {
-        continue;
+      if (occupancy_.test(machine, bag)) continue;
+      const double load = loads_[static_cast<std::size_t>(machine)];
+      if (load + size >= best_makespan_ - 1e-12) continue;
+      // Dominance: a machine with the same load and the same bag mask as a
+      // lower-indexed one reaches a machine-permutation of an already
+      // explored state.
+      bool dominated = false;
+      for (int prev = 0; prev < machine; ++prev) {
+        if (loads_[static_cast<std::size_t>(prev)] == load &&
+            occupancy_.rows_equal(prev, machine)) {
+          dominated = true;
+          break;
+        }
       }
-      if (loads_[static_cast<std::size_t>(machine)] + size >=
-          best_makespan_ - 1e-12) {
-        continue;
-      }
-      loads_[static_cast<std::size_t>(machine)] += size;
-      occupancy_[static_cast<std::size_t>(machine)]
-                [static_cast<std::size_t>(bag)] = true;
+      if (dominated) continue;
+      loads_[static_cast<std::size_t>(machine)] = load + size;
+      occupancy_.set(machine, bag);
       assignment_[static_cast<std::size_t>(job)] = machine;
-      dfs(depth + 1, std::max(used_machines, machine + 1));
+      dfs(depth + 1, std::max(used_machines, machine + 1),
+          std::max(current_max, load + size));
       assignment_[static_cast<std::size_t>(job)] = model::kUnassigned;
-      occupancy_[static_cast<std::size_t>(machine)]
-                [static_cast<std::size_t>(bag)] = false;
-      loads_[static_cast<std::size_t>(machine)] -= size;
+      occupancy_.reset(machine, bag);
+      loads_[static_cast<std::size_t>(machine)] = load;
       if (aborted_) return;
     }
   }
 
   const Instance& instance_;
   ExactOptions options_;
+  long long check_mask_;
   util::Stopwatch timer_;
   std::vector<double> loads_;
-  std::vector<std::vector<bool>> occupancy_;
+  util::BitMatrix64 occupancy_;
   std::vector<model::MachineId> assignment_;
   std::vector<JobId> order_;
-  std::vector<double> suffix_area_;
+  double area_bound_ = 0.0;
   Schedule best_schedule_;
   double best_makespan_ = 0.0;
   double lower_bound_ = 0.0;

@@ -18,6 +18,11 @@ namespace bagsched::sched {
 struct ExactOptions {
   long long max_nodes = 50'000'000;
   double time_limit_seconds = 30.0;
+  /// Nodes between time-limit / cancellation checks (rounded down to a
+  /// power of two and used as a bit mask, so the per-node cost is one AND).
+  /// The parallel engine also uses it as the per-worker flush interval for
+  /// the shared node counter.
+  long long check_interval = 8192;
   /// Cooperative cancellation, polled alongside the time-limit check.
   const util::CancellationToken* cancel = nullptr;
   /// Invoked with the incumbent makespan: once for the initial local-search
@@ -38,5 +43,15 @@ struct ExactResult {
 /// schedule found with proven_optimal == false.
 ExactResult solve_exact(const model::Instance& instance,
                         const ExactOptions& options = {});
+
+/// ExactOptions::check_interval rounded down to a power of two, as the
+/// corresponding AND-mask over the node counter (interval <= 1 means a
+/// check at every node). Shared by the sequential and parallel engines so
+/// the knob means the same thing in both.
+inline long long check_interval_mask(long long interval) {
+  long long mask = 1;
+  while (mask * 2 <= (interval > 1 ? interval : 1)) mask *= 2;
+  return mask - 1;
+}
 
 }  // namespace bagsched::sched

@@ -1,0 +1,342 @@
+#include "sched/exact_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "model/lower_bounds.h"
+#include "sched/local_search.h"
+#include "util/bitset64.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace bagsched::sched {
+
+using model::BagId;
+using model::Instance;
+using model::JobId;
+using model::MachineId;
+using model::Schedule;
+
+namespace {
+
+/// A stealable subtree: the full search state after assigning the first
+/// `depth` jobs in LPT order.
+struct Frame {
+  std::vector<MachineId> prefix;  ///< machine per order_[0..depth)
+  std::vector<double> loads;
+  util::BitMatrix64 occupancy;
+  int used_machines = 0;
+  double current_max = 0.0;
+};
+
+/// State shared by the expander and every worker.
+struct SharedState {
+  std::atomic<double> best{0.0};
+  std::atomic<long long> nodes{0};
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::size_t> next_frame{0};
+
+  std::mutex mutex;  ///< guards best_locked / best_schedule / emission
+  double best_locked = 0.0;
+  Schedule best_schedule;
+};
+
+class ParallelSolver {
+ public:
+  ParallelSolver(const Instance& instance,
+                 const ExactParallelOptions& options)
+      : instance_(instance), options_(options),
+        check_mask_(check_interval_mask(options.base.check_interval)) {
+    order_.resize(static_cast<std::size_t>(instance.num_jobs()));
+    for (JobId j = 0; j < instance.num_jobs(); ++j) {
+      order_[static_cast<std::size_t>(j)] = j;
+    }
+    std::sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      if (instance.job(a).size != instance.job(b).size) {
+        return instance.job(a).size > instance.job(b).size;
+      }
+      return a < b;
+    });
+    double total_area = 0.0;
+    for (const JobId j : order_) total_area += instance.job(j).size;
+    area_bound_ = total_area / instance.num_machines();
+  }
+
+  ExactResult run() {
+    // The same deterministic incumbent as the sequential engine, so results
+    // at every thread count start from one schedule.
+    LocalSearchOptions start_options;
+    start_options.max_moves = 20000;
+    Schedule start = local_search(instance_, start_options);
+    shared_.best_schedule = start;
+    shared_.best_locked = start.makespan(instance_);
+    shared_.best.store(shared_.best_locked, std::memory_order_relaxed);
+    lower_bound_ = model::combined_lower_bound(instance_);
+    if (options_.base.on_incumbent) {
+      options_.base.on_incumbent(shared_.best_locked);
+    }
+
+    int threads = options_.num_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(
+          std::max(1u, std::thread::hardware_concurrency()));
+    }
+
+    std::vector<Frame> frames;
+    const bool incumbent_is_optimal =
+        shared_.best_locked <= lower_bound_ + 1e-12;
+    if (!incumbent_is_optimal) {
+      frames = expand_frontier(static_cast<std::size_t>(
+          std::max(threads, 1) * std::max(options_.frames_per_thread, 1)));
+    }
+
+    if (!frames.empty() && !shared_.aborted.load()) {
+      util::ThreadPool pool(static_cast<std::size_t>(threads));
+      std::vector<std::future<void>> done;
+      done.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        done.push_back(pool.submit([this, &frames] { worker(frames); }));
+      }
+      for (auto& f : done) f.get();
+    }
+
+    ExactResult result;
+    result.schedule = shared_.best_schedule;
+    result.makespan = shared_.best_locked;
+    result.nodes = shared_.nodes.load(std::memory_order_relaxed);
+    result.proven_optimal = !shared_.aborted.load();
+    result.cancelled = shared_.cancelled.load();
+    return result;
+  }
+
+ private:
+  /// Expands the top of the tree breadth-first, complete level by complete
+  /// level, until at least `target` frames exist (or the tree is exhausted).
+  /// Leaves reached during expansion are evaluated as incumbents.
+  std::vector<Frame> expand_frontier(std::size_t target) {
+    const int m = instance_.num_machines();
+    const int bags = std::max(instance_.num_bags(), 1);
+    std::vector<Frame> frontier;
+    Frame root;
+    root.loads.assign(static_cast<std::size_t>(m), 0.0);
+    root.occupancy = util::BitMatrix64(m, bags);
+    frontier.push_back(std::move(root));
+
+    long long nodes = 0;
+    while (!frontier.empty() && frontier.size() < target &&
+           frontier.front().prefix.size() < order_.size()) {
+      const std::size_t depth = frontier.front().prefix.size();
+      const JobId job = order_[depth];
+      const BagId bag = instance_.job(job).bag;
+      const double size = instance_.job(job).size;
+      std::vector<Frame> next;
+      next.reserve(frontier.size() * 2);
+      for (Frame& frame : frontier) {
+        const double best = shared_.best.load(std::memory_order_relaxed);
+        if (std::max(frame.current_max, area_bound_) >= best - 1e-12) {
+          continue;
+        }
+        const int machine_limit = std::min(m, frame.used_machines + 1);
+        for (int machine = 0; machine < machine_limit; ++machine) {
+          if (frame.occupancy.test(machine, bag)) continue;
+          const double load =
+              frame.loads[static_cast<std::size_t>(machine)];
+          if (load + size >= best - 1e-12) continue;
+          bool dominated = false;
+          for (int prev = 0; prev < machine; ++prev) {
+            if (frame.loads[static_cast<std::size_t>(prev)] == load &&
+                frame.occupancy.rows_equal(prev, machine)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (dominated) continue;
+          ++nodes;
+          Frame child = frame;
+          child.prefix.push_back(static_cast<MachineId>(machine));
+          child.loads[static_cast<std::size_t>(machine)] = load + size;
+          child.occupancy.set(machine, bag);
+          child.used_machines = std::max(frame.used_machines, machine + 1);
+          child.current_max = std::max(frame.current_max, load + size);
+          if (child.prefix.size() == order_.size()) {
+            publish_leaf(child);
+          } else {
+            next.push_back(std::move(child));
+          }
+        }
+      }
+      frontier = std::move(next);
+      if (nodes > options_.base.max_nodes) {
+        shared_.aborted.store(true);
+        break;
+      }
+    }
+    shared_.nodes.fetch_add(nodes, std::memory_order_relaxed);
+    return frontier;
+  }
+
+  /// CAS publication into the atomic incumbent; true when `makespan` was an
+  /// improvement and this thread won the race to record it.
+  bool publish(double makespan) {
+    double current = shared_.best.load(std::memory_order_relaxed);
+    while (makespan < current - 1e-12) {
+      if (shared_.best.compare_exchange_weak(current, makespan,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void record_schedule(double makespan,
+                       const std::vector<MachineId>& assignment) {
+    std::lock_guard<std::mutex> lock(shared_.mutex);
+    if (makespan >= shared_.best_locked - 1e-12) return;
+    shared_.best_locked = makespan;
+    for (JobId j = 0; j < instance_.num_jobs(); ++j) {
+      shared_.best_schedule.assign(j,
+                                   assignment[static_cast<std::size_t>(j)]);
+    }
+    if (options_.base.on_incumbent) {
+      options_.base.on_incumbent(makespan);
+    }
+  }
+
+  void publish_leaf(const Frame& frame) {
+    if (!publish(frame.current_max)) return;
+    std::vector<MachineId> assignment(
+        static_cast<std::size_t>(instance_.num_jobs()), model::kUnassigned);
+    for (std::size_t d = 0; d < frame.prefix.size(); ++d) {
+      assignment[static_cast<std::size_t>(order_[d])] = frame.prefix[d];
+    }
+    record_schedule(frame.current_max, assignment);
+  }
+
+  /// Per-worker DFS state, seeded from a frame.
+  struct WorkerState {
+    std::vector<double> loads;
+    util::BitMatrix64 occupancy;
+    std::vector<MachineId> assignment;
+    long long local_nodes = 0;
+  };
+
+  void worker(const std::vector<Frame>& frames) {
+    WorkerState state;
+    state.assignment.assign(static_cast<std::size_t>(instance_.num_jobs()),
+                            model::kUnassigned);
+    for (;;) {
+      if (shared_.aborted.load(std::memory_order_relaxed)) break;
+      const std::size_t index =
+          shared_.next_frame.fetch_add(1, std::memory_order_relaxed);
+      if (index >= frames.size()) break;
+      const Frame& frame = frames[index];
+      state.loads = frame.loads;
+      state.occupancy = frame.occupancy;
+      std::fill(state.assignment.begin(), state.assignment.end(),
+                model::kUnassigned);
+      for (std::size_t d = 0; d < frame.prefix.size(); ++d) {
+        state.assignment[static_cast<std::size_t>(order_[d])] =
+            frame.prefix[d];
+      }
+      dfs(state, frame.prefix.size(), frame.used_machines,
+          frame.current_max);
+    }
+    flush_nodes(state);
+  }
+
+  void flush_nodes(WorkerState& state) {
+    if (state.local_nodes == 0) return;
+    shared_.nodes.fetch_add(state.local_nodes, std::memory_order_relaxed);
+    state.local_nodes = 0;
+  }
+
+  void dfs(WorkerState& state, std::size_t depth, int used_machines,
+           double current_max) {
+    if (shared_.aborted.load(std::memory_order_relaxed)) return;
+    if ((++state.local_nodes & check_mask_) == 0) {
+      const long long total =
+          shared_.nodes.fetch_add(state.local_nodes,
+                                  std::memory_order_relaxed) +
+          state.local_nodes;
+      state.local_nodes = 0;
+      if (total > options_.base.max_nodes ||
+          timer_.seconds() > options_.base.time_limit_seconds) {
+        shared_.aborted.store(true);
+        return;
+      }
+      if (util::stop_requested(options_.base.cancel)) {
+        shared_.aborted.store(true);
+        shared_.cancelled.store(true);
+        return;
+      }
+    }
+    double best = shared_.best.load(std::memory_order_relaxed);
+    if (depth == order_.size()) {
+      if (publish(current_max)) {
+        record_schedule(current_max, state.assignment);
+      }
+      return;
+    }
+    if (std::max(current_max, area_bound_) >= best - 1e-12) return;
+    if (best <= lower_bound_ + 1e-12) return;  // incumbent already optimal
+
+    const JobId job = order_[depth];
+    const BagId bag = instance_.job(job).bag;
+    const double size = instance_.job(job).size;
+
+    const int machine_limit =
+        std::min(instance_.num_machines(), used_machines + 1);
+    for (int machine = 0; machine < machine_limit; ++machine) {
+      if (state.occupancy.test(machine, bag)) continue;
+      const double load = state.loads[static_cast<std::size_t>(machine)];
+      if (load + size >= best - 1e-12) continue;
+      bool dominated = false;
+      for (int prev = 0; prev < machine; ++prev) {
+        if (state.loads[static_cast<std::size_t>(prev)] == load &&
+            state.occupancy.rows_equal(prev, machine)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      state.loads[static_cast<std::size_t>(machine)] = load + size;
+      state.occupancy.set(machine, bag);
+      state.assignment[static_cast<std::size_t>(job)] =
+          static_cast<MachineId>(machine);
+      dfs(state, depth + 1, std::max(used_machines, machine + 1),
+          std::max(current_max, load + size));
+      state.assignment[static_cast<std::size_t>(job)] = model::kUnassigned;
+      state.occupancy.reset(machine, bag);
+      state.loads[static_cast<std::size_t>(machine)] = load;
+      if (shared_.aborted.load(std::memory_order_relaxed)) return;
+      // The incumbent may have improved while the subtree ran.
+      best = shared_.best.load(std::memory_order_relaxed);
+    }
+  }
+
+  const Instance& instance_;
+  ExactParallelOptions options_;
+  long long check_mask_;
+  util::Stopwatch timer_;
+  std::vector<JobId> order_;
+  double area_bound_ = 0.0;
+  double lower_bound_ = 0.0;
+  SharedState shared_;
+};
+
+}  // namespace
+
+ExactResult solve_exact_parallel(const Instance& instance,
+                                 const ExactParallelOptions& options) {
+  ParallelSolver solver(instance, options);
+  return solver.run();
+}
+
+}  // namespace bagsched::sched

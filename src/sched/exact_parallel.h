@@ -1,0 +1,40 @@
+// Parallel work-stealing branch-and-bound over job -> machine assignments.
+//
+// Same search as sched::solve_exact — LPT branching order, machine-symmetry
+// breaking, bag pruning, area bound, equal-load dominance — but the top of
+// the tree is expanded breadth-first into stealable subtree frames that
+// util::ThreadPool workers drain with sequential DFS below the handoff
+// depth. The incumbent is a std::atomic<double> published via CAS, so every
+// worker prunes against the globally best makespan; improvements are
+// re-checked under a mutex before the schedule is recorded and the
+// on_incumbent stream fires, keeping emissions monotone.
+//
+// Determinism contract: for a given instance and budget large enough to
+// finish the search, the returned makespan and proven_optimal are identical
+// for every thread count (the optimum is unique and completion is
+// completion). Node counts and which optimal schedule wins a tie may vary
+// with scheduling.
+#pragma once
+
+#include "sched/exact.h"
+
+namespace bagsched::sched {
+
+struct ExactParallelOptions {
+  /// Budgets, check interval, cancellation and incumbent streaming shared
+  /// with the sequential engine. check_interval doubles as the per-worker
+  /// flush interval for the shared node counter.
+  ExactOptions base;
+  /// Worker threads; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Frontier expansion stops once at least num_threads * frames_per_thread
+  /// stealable frames exist (more frames = finer-grained stealing).
+  int frames_per_thread = 32;
+};
+
+/// Solves to optimality when the budget allows; otherwise returns the best
+/// schedule found with proven_optimal == false.
+ExactResult solve_exact_parallel(const model::Instance& instance,
+                                 const ExactParallelOptions& options = {});
+
+}  // namespace bagsched::sched

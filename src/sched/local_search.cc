@@ -39,6 +39,47 @@ Score score_of(const std::vector<double>& loads) {
   return {makespan, critical};
 }
 
+/// score_of of `loads` with entries a/b replaced by va/vb — bit-identical
+/// to copying the vector and rescoring, without the allocation.
+Score score_with(const std::vector<double>& loads, int a, double va,
+                 int b, double vb) {
+  const std::size_t ia = static_cast<std::size_t>(a);
+  const std::size_t ib = static_cast<std::size_t>(b);
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double l = i == ia ? va : (i == ib ? vb : loads[i]);
+    makespan = std::max(makespan, l);
+  }
+  int critical = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double l = i == ia ? va : (i == ib ? vb : loads[i]);
+    if (l >= makespan - 1e-12) ++critical;
+  }
+  return {makespan, critical};
+}
+
+/// Cheap decisive rejection of a two-entry move before the full rescan:
+/// (a) a new entry above the current makespan can never win; (b) when the
+/// single critical machine stays at (or returns to) the makespan, the
+/// critical count cannot drop below 1. Returns true when the move is
+/// provably not better; false means "evaluate exactly".
+bool provably_not_better(const std::vector<double>& loads,
+                         const Score& current, int a, double va, int b,
+                         double vb) {
+  const double peak = std::max(va, vb);
+  if (peak > current.makespan + 1e-12) return true;
+  if (current.critical == 1 && peak >= current.makespan - 1e-12) {
+    const bool a_was_critical =
+        loads[static_cast<std::size_t>(a)] >= current.makespan - 1e-12;
+    const bool b_was_critical =
+        loads[static_cast<std::size_t>(b)] >= current.makespan - 1e-12;
+    // No third machine sits at the makespan, so the new score's critical
+    // count is at least the one machine still at `peak` — never < 1.
+    if (a_was_critical || b_was_critical) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 LocalSearchResult improve(const Instance& instance, Schedule& schedule,
@@ -113,11 +154,19 @@ LocalSearchResult improve(const Instance& instance, Schedule& schedule,
                      [static_cast<std::size_t>(bag)] > 0) {
           continue;
         }
-        std::vector<double> trial = loads;
-        trial[static_cast<std::size_t>(from)] -= job.size;
-        trial[static_cast<std::size_t>(to)] += job.size;
-        if (score_of(trial).better_than(current)) {
-          loads = std::move(trial);
+        // Two-entry delta evaluation: no loads copy per candidate.
+        const double new_from = loads[static_cast<std::size_t>(from)] -
+                                job.size;
+        const double new_to = loads[static_cast<std::size_t>(to)] +
+                              job.size;
+        if (provably_not_better(loads, current, from, new_from, to,
+                                new_to)) {
+          continue;
+        }
+        if (score_with(loads, from, new_from, to, new_to)
+                .better_than(current)) {
+          loads[static_cast<std::size_t>(from)] = new_from;
+          loads[static_cast<std::size_t>(to)] = new_to;
           --occupancy[static_cast<std::size_t>(from)]
                      [static_cast<std::size_t>(bag)];
           ++occupancy[static_cast<std::size_t>(to)]
@@ -157,11 +206,19 @@ LocalSearchResult improve(const Instance& instance, Schedule& schedule,
                       [static_cast<std::size_t>(bag)] > 1)) {
           continue;
         }
-        std::vector<double> trial = loads;
-        trial[static_cast<std::size_t>(from)] += other.size - job.size;
-        trial[static_cast<std::size_t>(to)] += job.size - other.size;
-        if (score_of(trial).better_than(current)) {
-          loads = std::move(trial);
+        // Two-entry delta evaluation: no loads copy per candidate.
+        const double new_from = loads[static_cast<std::size_t>(from)] +
+                                other.size - job.size;
+        const double new_to = loads[static_cast<std::size_t>(to)] +
+                              job.size - other.size;
+        if (provably_not_better(loads, current, from, new_from, to,
+                                new_to)) {
+          continue;
+        }
+        if (score_with(loads, from, new_from, to, new_to)
+                .better_than(current)) {
+          loads[static_cast<std::size_t>(from)] = new_from;
+          loads[static_cast<std::size_t>(to)] = new_to;
           --occupancy[static_cast<std::size_t>(from)]
                      [static_cast<std::size_t>(bag)];
           ++occupancy[static_cast<std::size_t>(to)]

@@ -1,0 +1,107 @@
+// Flat uint64_t bitsets for the branch-and-bound hot paths.
+//
+// Bitset64 is a dynamic bitset backed by a contiguous word vector;
+// BitMatrix64 packs `rows` such bitsets into one flat allocation (row-major
+// words), replacing vector<vector<bool>> occupancy matrices. Row equality —
+// needed by the equal-load dominance rule of the exact search — is a word
+// compare instead of a bit-by-bit scan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace bagsched::util {
+
+/// Dynamic bitset over flat uint64_t words.
+class Bitset64 {
+ public:
+  Bitset64() = default;
+  explicit Bitset64(int bits)
+      : bits_(bits), words_(word_count(bits), 0u) {}
+
+  int bits() const { return bits_; }
+
+  bool test(int bit) const {
+    return (words_[static_cast<std::size_t>(bit >> 6)] >>
+            (static_cast<unsigned>(bit) & 63u)) & 1u;
+  }
+  void set(int bit) {
+    words_[static_cast<std::size_t>(bit >> 6)] |=
+        std::uint64_t{1} << (static_cast<unsigned>(bit) & 63u);
+  }
+  void reset(int bit) {
+    words_[static_cast<std::size_t>(bit >> 6)] &=
+        ~(std::uint64_t{1} << (static_cast<unsigned>(bit) & 63u));
+  }
+  void clear() { std::fill(words_.begin(), words_.end(), 0u); }
+
+  bool operator==(const Bitset64& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  static std::size_t word_count(int bits) {
+    return static_cast<std::size_t>((bits + 63) >> 6);
+  }
+
+ private:
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// `rows` bitsets of `bits` bits each in one flat row-major allocation.
+class BitMatrix64 {
+ public:
+  BitMatrix64() = default;
+  BitMatrix64(int rows, int bits)
+      : rows_(rows), bits_(bits),
+        words_per_row_(Bitset64::word_count(bits)),
+        words_(static_cast<std::size_t>(rows) * words_per_row_, 0u) {}
+
+  int rows() const { return rows_; }
+  int bits() const { return bits_; }
+
+  bool test(int row, int bit) const {
+    return (word(row, bit) >> (static_cast<unsigned>(bit) & 63u)) & 1u;
+  }
+  void set(int row, int bit) {
+    word(row, bit) |= std::uint64_t{1}
+                      << (static_cast<unsigned>(bit) & 63u);
+  }
+  void reset(int row, int bit) {
+    word(row, bit) &= ~(std::uint64_t{1}
+                        << (static_cast<unsigned>(bit) & 63u));
+  }
+  void clear() { std::fill(words_.begin(), words_.end(), 0u); }
+
+  /// True when rows a and b hold identical bag masks (word compare).
+  bool rows_equal(int a, int b) const {
+    const std::uint64_t* pa = row_words(a);
+    const std::uint64_t* pb = row_words(b);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (pa[w] != pb[w]) return false;
+    }
+    return true;
+  }
+
+  const std::uint64_t* row_words(int row) const {
+    return words_.data() + static_cast<std::size_t>(row) * words_per_row_;
+  }
+
+ private:
+  std::uint64_t& word(int row, int bit) {
+    return words_[static_cast<std::size_t>(row) * words_per_row_ +
+                  static_cast<std::size_t>(bit >> 6)];
+  }
+  std::uint64_t word(int row, int bit) const {
+    return words_[static_cast<std::size_t>(row) * words_per_row_ +
+                  static_cast<std::size_t>(bit >> 6)];
+  }
+
+  int rows_ = 0;
+  int bits_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bagsched::util

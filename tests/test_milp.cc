@@ -199,5 +199,53 @@ TEST_P(RandomIlpTest, MatchesBruteForceOnSmallInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomIlpTest, ::testing::Range(1, 11));
 
+TEST(MilpTest, BestBoundReportedOnTruncatedSearch) {
+  // max 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d <= 14, binary.
+  // LP relaxation = 22; integral optimum = 21.
+  Model model;
+  model.set_objective(Objective::Maximize);
+  const double values[] = {8, 11, 6, 4};
+  const double weights[] = {5, 7, 4, 3};
+  std::vector<int> vars;
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(model.add_variable(values[i], 0.0, 1.0));
+    row.emplace_back(vars.back(), weights[i]);
+  }
+  model.add_constraint(row, Sense::LessEqual, 14.0);
+
+  // One node: the root LP is solved and fractional, then the budget is
+  // gone. No incumbent exists, but the root relaxation is a proven bound
+  // and LimitReached must carry it (portfolio gap decisions rely on it).
+  milp::MilpOptions options;
+  options.max_nodes = 1;
+  const auto truncated = milp::solve(model, vars, options);
+  EXPECT_EQ(truncated.status, MilpStatus::LimitReached);
+  EXPECT_NEAR(truncated.best_bound, 22.0, 1e-6);
+
+  // A slightly larger budget finds an incumbent; best_bound must bracket
+  // the true optimum from the relaxation side (>= 21 for maximization)
+  // while the incumbent bounds it from below.
+  milp::MilpOptions partial;
+  partial.max_nodes = 4;
+  const auto feasible = milp::solve(model, vars, partial);
+  if (feasible.status == MilpStatus::Feasible ||
+      feasible.status == MilpStatus::Optimal) {
+    EXPECT_LE(feasible.objective, 21.0 + 1e-9);
+    EXPECT_GE(feasible.best_bound, 21.0 - 1e-6);
+    EXPECT_GE(feasible.best_bound, feasible.objective - 1e-9);
+  } else {
+    EXPECT_EQ(feasible.status, MilpStatus::LimitReached);
+    EXPECT_GE(feasible.best_bound, 21.0 - 1e-6);
+  }
+
+  // Untruncated run: proven optimal, bound meets the objective.
+  const auto full = milp::solve(model, vars);
+  ASSERT_EQ(full.status, MilpStatus::Optimal);
+  EXPECT_NEAR(full.objective, 21.0, 1e-6);
+  EXPECT_NEAR(full.best_bound, 21.0, 1e-6);
+  EXPECT_GT(full.lp_iterations, 0);
+}
+
 }  // namespace
 }  // namespace bagsched

@@ -1,5 +1,5 @@
 // Unit tests for the util module: PRNG determinism, exact rationals,
-// epsilon-grid rounding, tables and the thread pool.
+// epsilon-grid rounding, tables, flat bitsets and the thread pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "util/bitset64.h"
 #include "util/csv.h"
 #include "util/fraction.h"
 #include "util/grid.h"
@@ -179,6 +180,41 @@ TEST(ThreadPoolTest, TypedSubmitPropagatesExceptions) {
   std::future<int> future =
       pool.submit([]() -> int { throw std::runtime_error("typed boom"); });
   EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(Bitset64, SetTestResetAcrossWordBoundaries) {
+  util::Bitset64 bits(130);
+  EXPECT_EQ(bits.bits(), 130);
+  for (const int b : {0, 1, 63, 64, 65, 127, 128, 129}) {
+    EXPECT_FALSE(bits.test(b));
+    bits.set(b);
+    EXPECT_TRUE(bits.test(b));
+  }
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(65));
+  util::Bitset64 other(130);
+  EXPECT_FALSE(bits == other);
+  bits.clear();
+  EXPECT_TRUE(bits == other);
+}
+
+TEST(BitMatrix64, RowsAreIndependentAndComparable) {
+  util::BitMatrix64 matrix(3, 70);
+  matrix.set(0, 5);
+  matrix.set(0, 69);
+  matrix.set(2, 5);
+  matrix.set(2, 69);
+  EXPECT_TRUE(matrix.test(0, 5));
+  EXPECT_FALSE(matrix.test(1, 5));
+  EXPECT_TRUE(matrix.rows_equal(0, 2));
+  EXPECT_FALSE(matrix.rows_equal(0, 1));
+  matrix.reset(2, 69);
+  EXPECT_FALSE(matrix.rows_equal(0, 2));
+  matrix.clear();
+  EXPECT_TRUE(matrix.rows_equal(0, 2));
+  EXPECT_FALSE(matrix.test(0, 5));
 }
 
 }  // namespace
