@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -24,8 +25,18 @@ Harness::Harness(std::string name, int* argc, char** argv)
       json_requested_ = true;
       json_path_ = arg.substr(std::strlen("--bench-json="));
     } else if (arg.rfind("--bench-reps=", 0) == 0) {
-      reps_override_ = std::max(
-          1, std::atoi(arg.c_str() + std::strlen("--bench-reps=")));
+      // Strict parse: atoi would turn "--bench-reps=abc" into 0 and the
+      // bench would silently skip real measurement; reject instead.
+      const std::string value = arg.substr(std::strlen("--bench-reps="));
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 1 ||
+          parsed > 1'000'000) {
+        std::cerr << "harness: invalid --bench-reps value \"" << value
+                  << "\" (expected an integer in [1, 1000000])\n";
+        std::exit(2);
+      }
+      reps_override_ = static_cast<int>(parsed);
     } else {
       argv[out++] = argv[i];  // keep for benchmark::Initialize etc.
     }

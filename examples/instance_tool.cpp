@@ -2,9 +2,9 @@
 //
 //   $ ./instance_tool gen <family> <n> <m> <seed> <out.instance>
 //   $ ./instance_tool solve <in.instance> <eps> [solver] [out.schedule]
-//                     [--json] [--deadline <s>] [--progress]
+//                     [--json] [--deadline <s>] [--progress] [--cache-stats]
 //   $ ./instance_tool portfolio <in.instance> <eps>
-//                     [--json] [--deadline <s>] [--progress]
+//                     [--json] [--deadline <s>] [--progress] [--cache-stats]
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
 //   $ ./instance_tool solvers
@@ -32,8 +32,10 @@ int usage() {
       "  instance_tool gen <family> <n> <m> <seed> <out.instance>\n"
       "  instance_tool solve <in.instance> <eps> [solver] [out.schedule]\n"
       "                [--json] [--deadline <s>] [--progress]\n"
+      "                [--cache-stats]\n"
       "  instance_tool portfolio <in.instance> <eps>\n"
       "                [--json] [--deadline <s>] [--progress]\n"
+      "                [--cache-stats]\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
@@ -55,6 +57,8 @@ int usage() {
 struct Flags {
   bool json = false;
   bool progress = false;
+  bool cache_stats = false;  ///< solve with cache_mode=read-write twice and
+                             ///< report the cache/dedup counters
   double deadline_seconds = -1.0;  ///< < 0 = no deadline
 };
 
@@ -66,6 +70,8 @@ Flags extract_flags(std::vector<std::string>& args) {
       flags.json = true;
     } else if (args[i] == "--progress") {
       flags.progress = true;
+    } else if (args[i] == "--cache-stats") {
+      flags.cache_stats = true;
     } else if (args[i] == "--deadline" && i + 1 < args.size()) {
       flags.deadline_seconds = std::stod(args[++i]);
     } else {
@@ -100,18 +106,46 @@ bagsched::api::ProgressFn progress_printer() {
 }
 
 /// Submits one request and waits — the async workflow in its smallest form.
+/// With --cache-stats, the request runs with cache_mode=read-write and is
+/// submitted twice (solve, then replay): the second pass must come back as
+/// a cache hit, and the cache/dedup counters are reported on stderr.
 bagsched::api::SolveResult run_via_service(bagsched::api::SolveRequest request,
                                            const Flags& flags) {
   if (flags.deadline_seconds >= 0.0) {
     request.deadline = bagsched::api::deadline_in(flags.deadline_seconds);
   }
   if (flags.progress) request.on_progress = progress_printer();
+  if (flags.cache_stats) {
+    request.options.cache_mode = bagsched::api::CacheMode::ReadWrite;
+  }
   // One request, one slot: no point spawning hardware_concurrency workers
   // (the portfolio path parallelises inside its own nested service).
   bagsched::api::SchedulingService service(
       {.num_threads = 1, .max_concurrent = 1});
+  bagsched::api::SolveRequest replay = request;
   auto handle = service.submit(std::move(request));
-  return handle.wait();
+  bagsched::api::SolveResult result = handle.wait();
+  if (flags.cache_stats) {
+    // The replay only probes the cache; the reported result stays the
+    // first solve's (a replay can differ, e.g. under an expired
+    // --deadline).
+    const auto replayed = service.submit(std::move(replay)).wait();
+    const auto service_stats = service.stats();
+    const auto cache_stats = service.cache_stats();
+    std::cerr << "cache: " << cache_stats.entries << " entries, "
+              << cache_stats.bytes << " bytes, " << cache_stats.hits
+              << " hits / " << cache_stats.misses << " misses, "
+              << cache_stats.evictions << " evicted\n"
+              << "service: " << service_stats.cache_hits << " cache hits ("
+              << service_stats.cache_rounded_hits << " rounded), "
+              << service_stats.dedup_shared << " single-flight shared\n"
+              << "replay "
+              << (bagsched::api::stat_bool(replayed.stats, "cache_hit")
+                      ? "hit the cache"
+                      : "MISSED the cache")
+              << "\n";
+  }
+  return result;
 }
 
 }  // namespace

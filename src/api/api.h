@@ -28,6 +28,8 @@
 #include "api/service.h"
 #include "api/solver.h"
 #include "api/telemetry.h"
+#include "cache/canonicalize.h"
+#include "cache/solve_cache.h"
 #include "gen/generators.h"
 #include "model/instance.h"
 #include "model/lower_bounds.h"

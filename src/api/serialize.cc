@@ -58,7 +58,17 @@ util::Json options_to_json(const SolveOptions& options) {
   // A decimal string: uint64 seeds above 2^53 don't survive a double.
   json.set("seed", std::to_string(options.seed));
   json.set("stack_threshold", options.stack_threshold);
+  if (options.cache_mode != CacheMode::Off) {
+    json.set("cache_mode", to_string(options.cache_mode));
+  }
   return json;
+}
+
+CacheMode cache_mode_from_string(const std::string& text) {
+  if (text == "off") return CacheMode::Off;
+  if (text == "read") return CacheMode::Read;
+  if (text == "read-write") return CacheMode::ReadWrite;
+  throw std::runtime_error("options: unknown cache_mode \"" + text + "\"");
 }
 
 SolveOptions options_from_json(const util::Json& json) {
@@ -77,6 +87,9 @@ SolveOptions options_from_json(const util::Json& json) {
   }
   options.stack_threshold =
       json.number_or("stack_threshold", options.stack_threshold);
+  if (const util::Json* mode = json.find("cache_mode")) {
+    options.cache_mode = cache_mode_from_string(mode->as_string());
+  }
   return options;
 }
 

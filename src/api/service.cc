@@ -7,6 +7,7 @@
 #include "api/portfolio.h"
 #include "api/registry.h"
 #include "api/serialize.h"
+#include "model/lower_bounds.h"
 #include "util/stopwatch.h"
 
 namespace bagsched::api {
@@ -19,6 +20,22 @@ struct RequestState {
 
   std::uint64_t id = 0;
   SolveRequest request;
+
+  // --- Solve-cache participation (immutable after prepare_cache) ---------
+  bool cache_enabled = false;   ///< cache_mode != Off and instance is valid
+  bool rounded_enabled = false; ///< also keyed on the eps-rounded form
+  cache::CanonicalForm form;          ///< exact canonical form
+  cache::CanonicalForm rounded_form;  ///< only when rounded_enabled
+  cache::CacheKey key;                ///< exact-fingerprint cache key
+  cache::CacheKey rounded_key;        ///< only when rounded_enabled
+  /// Submit-time cache hit, resolved without queueing (set in pass 1 of
+  /// submit_batch, consumed under the service lock).
+  std::optional<SolveResult> submit_hit;
+  /// Single-flight followers attached to this leader; guarded by the
+  /// service mutex. Followers are never queued or run — they resolve from
+  /// the leader's result (or re-enter the queue if the leader's outcome is
+  /// not shareable).
+  std::vector<std::shared_ptr<RequestState>> followers;
   /// Per-request token chained onto the caller's options.cancel; fired by
   /// the deadline watchdog, SolveHandle::cancel() and service shutdown.
   util::CancellationToken cancel;
@@ -26,6 +43,12 @@ struct RequestState {
   /// so the final status must read Cancelled.
   std::atomic<bool> service_cancel{false};
   std::atomic<bool> deadline_fired{false};
+  /// The deadline clamp reduced the solver's time budget below what the
+  /// options asked for (see execute()). A Feasible-but-unproven result
+  /// produced under a tighter budget must not be cached or shared under
+  /// the full-budget options key — it could be arbitrarily weaker than
+  /// what an unconstrained run would return.
+  std::atomic<bool> budget_clamped{false};
   util::Stopwatch since_submit;
   double queue_seconds = 0.0;  ///< written by the dispatcher, pre-Started
 
@@ -122,6 +145,46 @@ bool dispatches_before(const RequestState& a, const RequestState& b) {
   return a.id < b.id;
 }
 
+/// Cache-key component for the solver selection: the registry name, a
+/// joined portfolio list, or a marker for the default portfolio mix.
+std::string solver_signature(const std::vector<std::string>& solvers) {
+  if (solvers.empty()) return "portfolio:default";
+  std::string signature = solvers.front();
+  for (std::size_t i = 1; i < solvers.size(); ++i) {
+    signature += '+';
+    signature += solvers[i];
+  }
+  return signature;
+}
+
+/// Whether every requested solver tolerates eps-rounded key collisions: a
+/// rounded hit hands back a schedule whose makespan is only within a
+/// (1+eps) factor of what a fresh solve would find, which is fine for the
+/// approximation/heuristic solvers but would silently weaken an exact
+/// solver's contract (and the bag-ignoring reference solvers never produce
+/// cacheable schedules at all).
+bool rounded_keys_allowed(const std::vector<std::string>& solvers) {
+  if (solvers.empty()) return false;  // default portfolio includes "exact"
+  for (const auto& name : solvers) {
+    const Guarantee guarantee =
+        SolverRegistry::global().info(name).guarantee;
+    if (guarantee == Guarantee::Exact || guarantee == Guarantee::Reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A result worth storing: a complete, bag-feasible schedule that wasn't
+/// truncated by cancellation. Infeasible/Error outcomes are not cached —
+/// they can encode request-specific circumstances (a malformed twin, a
+/// transient failure) that must not leak onto other requests.
+bool is_cacheable(const SolveResult& result) {
+  return (result.status == SolveStatus::Optimal ||
+          result.status == SolveStatus::Feasible) &&
+         result.schedule_feasible && !result.cancelled;
+}
+
 }  // namespace
 
 SchedulingService::SchedulingService(Config config)
@@ -140,6 +203,17 @@ SchedulingService::~SchedulingService() {
     stopping_ = true;
     pending = std::move(queue_);
     queue_.clear();
+    // Single-flight followers are parked on their leaders, not in the
+    // queue; drain them here so their handles resolve too. Running
+    // leaders find their follower lists empty afterwards — fine, the
+    // share-out is a no-op.
+    for (const auto& [key, leader] : inflight_) {
+      for (auto& follower : leader->followers) {
+        pending.push_back(std::move(follower));
+      }
+      leader->followers.clear();
+    }
+    inflight_.clear();
     for (const auto& state : running_) {
       state->service_cancel.store(true, std::memory_order_relaxed);
       state->cancel.request_stop();
@@ -185,10 +259,15 @@ std::vector<SolveHandle> SchedulingService::submit_batch(
     }
     auto state = std::make_shared<RequestState>(std::move(request));
     state->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Canonicalization and the first cache probe run outside the service
+    // lock — they are O(n log n) per request and purely local.
+    prepare_cache(*state);
+    if (state->cache_enabled) state->submit_hit = cache_lookup(*state);
     handles.push_back(SolveHandle(state));
     states.push_back(std::move(state));
   }
   std::vector<std::shared_ptr<RequestState>> bounced;
+  std::vector<std::shared_ptr<RequestState>> hits;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -202,6 +281,32 @@ std::vector<SolveHandle> SchedulingService::submit_batch(
         max_concurrent_ > running_.size() ? max_concurrent_ - running_.size()
                                           : 0;
     for (auto& state : states) {
+      // Cache hits take no queue slot, no backpressure, no solver run.
+      // Counters settle under the lock; the handle resolves after it is
+      // released (like rejected submits), so a Finished callback that
+      // calls back into the service cannot deadlock on mutex_.
+      if (state->submit_hit.has_value()) {
+        ++submitted_;
+        ++finished_;
+        state->emit({.kind = ProgressKind::Queued});
+        hits.push_back(std::move(state));
+        continue;
+      }
+      // Single-flight followers ride along on an in-flight leader: they
+      // hold no queue slot either, so they are exempt from backpressure.
+      if (state->cache_enabled) {
+        const auto leader = inflight_.find(state->key);
+        if (leader != inflight_.end()) {
+          ++submitted_;
+          if (state->request.deadline.has_value() &&
+              !watchdog_.joinable()) {
+            watchdog_ = std::thread([this] { watchdog_loop(); });
+          }
+          state->emit({.kind = ProgressKind::Queued});
+          leader->second->followers.push_back(std::move(state));
+          continue;
+        }
+      }
       if (config_.max_queue_depth != 0 &&
           queue_.size() >= config_.max_queue_depth + free_slots) {
         ++rejected_;
@@ -215,11 +320,19 @@ std::vector<SolveHandle> SchedulingService::submit_batch(
       // Queued is emitted under the lock, strictly for accepted requests:
       // the dispatch below happens after, so Started can never precede it.
       state->emit({.kind = ProgressKind::Queued});
+      if (state->cache_enabled) inflight_.emplace(state->key, state);
       queue_.push_back(std::move(state));
     }
     // One dispatch pass after the whole batch is queued, so the batch is
     // prioritised as a unit instead of first-come-first-dispatched.
     dispatch_locked();
+  }
+  for (const auto& state : hits) {
+    SolveResult result = std::move(*state->submit_hit);
+    state->submit_hit.reset();
+    result.stats["request_id"] = static_cast<long long>(state->id);
+    result.stats["queue_seconds"] = 0.0;
+    resolve(state, std::move(result), /*emit_finished=*/true);
   }
   for (const auto& state : bounced) {
     SolveResult result;
@@ -248,7 +361,102 @@ SchedulingService::Stats SchedulingService::stats() const {
   stats.queued = queue_.size();
   stats.running = running_.size();
   stats.finished = finished_;
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_rounded_hits =
+      cache_rounded_hits_.load(std::memory_order_relaxed);
+  stats.dedup_shared = dedup_shared_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void SchedulingService::prepare_cache(RequestState& state) {
+  const SolveRequest& request = state.request;
+  if (request.options.cache_mode == CacheMode::Off) return;
+  // Malformed instances stay out of the cache and the single-flight
+  // registry: their fingerprints could collide with valid twins, and their
+  // error messages describe this request's instance specifically.
+  try {
+    request.instance->validate();
+  } catch (const std::exception&) {
+    return;
+  }
+  const std::string signature = solver_signature(request.solvers);
+  const std::uint64_t digest = cache::options_digest(request.options);
+  state.form = cache::Canonicalizer::exact(*request.instance);
+  state.key = cache::CacheKey{state.form.fingerprint, signature, digest,
+                              /*rounded=*/false};
+  state.cache_enabled = true;
+  if (request.options.eps > 0.0 && rounded_keys_allowed(request.solvers)) {
+    state.rounded_form = cache::Canonicalizer::rounded(*request.instance,
+                                                       request.options.eps);
+    state.rounded_key =
+        cache::CacheKey{state.rounded_form.fingerprint, signature, digest,
+                        /*rounded=*/true};
+    state.rounded_enabled = true;
+  }
+}
+
+std::optional<SolveResult> SchedulingService::cache_lookup(
+    RequestState& state) {
+  const model::Instance& instance = *state.request.instance;
+  if (auto hit = cache_.lookup(state.key)) {
+    // Exact-fingerprint twin: sizes agree position-by-position, so the
+    // remapped schedule has the identical makespan and the cached status —
+    // including a proven Optimal — transfers verbatim.
+    SolveResult result = std::move(*hit);
+    if (result.schedule.num_jobs() == instance.num_jobs() &&
+        result.schedule.num_jobs() > 0) {
+      result.schedule = cache::from_canonical(result.schedule, state.form);
+    }
+    result.stats["cache_hit"] = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  if (!state.rounded_enabled) return std::nullopt;
+  if (auto hit = cache_.lookup(state.rounded_key)) {
+    // Rounded-key twin: the bag structure matches position-by-position but
+    // sizes only agree up to (1+eps), so the remapped schedule is
+    // re-evaluated against THIS instance — the returned makespan/gap are
+    // exact for the schedule we hand back; only optimality claims and the
+    // solver's a-priori ratio are relaxed by the rounding.
+    SolveResult result = std::move(*hit);
+    if (result.schedule.num_jobs() != instance.num_jobs() ||
+        result.schedule.num_jobs() == 0) {
+      return std::nullopt;
+    }
+    result.schedule =
+        cache::from_canonical(result.schedule, state.rounded_form);
+    if (!model::validate(instance, result.schedule).ok()) {
+      return std::nullopt;  // cannot happen for equal fingerprints
+    }
+    result.makespan = result.schedule.makespan(instance);
+    result.lower_bound = model::combined_lower_bound(instance);
+    result.schedule_feasible = true;
+    result.proven_optimal = false;
+    result.status = SolveStatus::Feasible;
+    result.optimality_gap =
+        result.lower_bound > 0.0
+            ? result.makespan / result.lower_bound - 1.0
+            : 0.0;
+    result.stats["cache_hit"] = true;
+    result.stats["cache_hit_rounded"] = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_rounded_hits_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  return std::nullopt;
+}
+
+void SchedulingService::lead_or_follow_locked(
+    std::shared_ptr<RequestState> state) {
+  if (state->cache_enabled) {
+    const auto leader = inflight_.find(state->key);
+    if (leader != inflight_.end()) {
+      leader->second->followers.push_back(std::move(state));
+      return;
+    }
+    inflight_.emplace(state->key, state);
+  }
+  queue_.push_back(std::move(state));
 }
 
 void SchedulingService::dispatch_locked() {
@@ -280,6 +488,9 @@ SolveResult SchedulingService::execute(RequestState& state) {
         std::chrono::duration<double>(*request.deadline -
                                       ServiceClock::now())
             .count();
+    if (remaining < options.time_limit_seconds) {
+      state.budget_clamped.store(true, std::memory_order_relaxed);
+    }
     options.time_limit_seconds =
         std::min(options.time_limit_seconds, std::max(remaining, 0.0));
   }
@@ -319,6 +530,21 @@ SolveResult SchedulingService::execute(RequestState& state) {
 void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
   state->emit({.kind = ProgressKind::Started});
   SolveResult result;
+  bool from_cache = false;
+  // Second-chance probe: the first lookup ran at submit time, but anything
+  // cached since then — by an earlier queue entry this request could not
+  // single-flight onto (rounded-key twins dedup only through the cache) —
+  // serves now without running a solver.
+  if (state->cache_enabled &&
+      !state->service_cancel.load(std::memory_order_relaxed)) {
+    if (auto hit = cache_lookup(*state)) {
+      result = std::move(*hit);
+      from_cache = true;
+    }
+  }
+  if (from_cache) {
+    // nothing to run
+  } else
   try {
     result = execute(*state);
   } catch (const std::exception& error) {
@@ -362,12 +588,106 @@ void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
     result.stats["deadline_expired"] = true;
   }
 
+  // --- Single-flight settlement -------------------------------------------
+  // Detach this leader from the in-flight registry and claim its
+  // followers. A shareable outcome fans out to all of them below; a
+  // cancelled/error outcome must not (the cancellation or failure may be
+  // specific to this request), so those followers re-enter the queue and
+  // the first of them leads the retry.
+  std::vector<std::shared_ptr<RequestState>> shared;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state->cache_enabled) {
+      const auto it = inflight_.find(state->key);
+      if (it != inflight_.end() && it->second == state) inflight_.erase(it);
+      shared = std::move(state->followers);
+      state->followers.clear();
+      // A clamped-budget Feasible result only blocks sharing when it is
+      // neither proven (Optimal is budget-independent) nor structural
+      // (Infeasible does not depend on the budget at all).
+      const bool shareable =
+          !result.cancelled && result.status != SolveStatus::Error &&
+          !(state->budget_clamped.load(std::memory_order_relaxed) &&
+            result.status == SolveStatus::Feasible);
+      if (!shared.empty() && !shareable && !stopping_) {
+        for (auto& follower : shared) {
+          lead_or_follow_locked(std::move(follower));
+        }
+        shared.clear();
+        dispatch_locked();
+      }
+      // When stopping, unshareable followers stay in `shared` and resolve
+      // below with the leader's (cancelled) result — the destructor has
+      // already drained the ones it saw, this catches late attachments.
+    }
+  }
+
+  // Store before sharing/resolving: any request submitted from a Finished
+  // callback already finds the entry. The cached copy keeps its schedule
+  // in canonical order and drops the per-request bookkeeping.
+  // Store under the leader's ReadWrite — or a shared follower's: the
+  // followers asked the identical question, so any of them opting into
+  // writes is enough to persist the answer.
+  bool store = state->request.options.cache_mode == CacheMode::ReadWrite;
+  for (const auto& follower : shared) {
+    store = store ||
+            follower->request.options.cache_mode == CacheMode::ReadWrite;
+  }
+  if (!from_cache && state->cache_enabled && store && is_cacheable(result) &&
+      !(state->budget_clamped.load(std::memory_order_relaxed) &&
+        result.status == SolveStatus::Feasible)) {
+    SolveResult canonical = result;
+    canonical.stats.erase("request_id");
+    canonical.stats.erase("queue_seconds");
+    canonical.schedule = cache::to_canonical(result.schedule, state->form);
+    cache_.insert(state->key, canonical);
+    if (state->rounded_enabled) {
+      canonical.schedule =
+          cache::to_canonical(result.schedule, state->rounded_form);
+      cache_.insert(state->rounded_key, std::move(canonical));
+    }
+    result.stats["cache_stored"] = true;
+  }
+
+  // Fan the result out to the followers (exact-key twins: the remapped
+  // schedule, makespan and status transfer verbatim), honouring each
+  // follower's own deadline/cancel state. The leader is still in running_,
+  // so wait_idle() cannot fire while followers are unresolved.
+  for (auto& follower : shared) {
+    SolveResult out = result;
+    out.stats.erase("cache_stored");
+    if (out.schedule.num_jobs() > 0 &&
+        out.schedule.num_jobs() == follower->request.instance->num_jobs()) {
+      out.schedule = model::remap_jobs(result.schedule, state->form.job_at,
+                                       follower->form.job_at);
+    }
+    out.stats["single_flight"] = true;
+    out.stats["request_id"] = static_cast<long long>(follower->id);
+    out.stats["queue_seconds"] = follower->since_submit.seconds();
+    if (follower->request.deadline.has_value() &&
+        ServiceClock::now() >= *follower->request.deadline) {
+      follower->deadline_fired.store(true, std::memory_order_relaxed);
+      follower->service_cancel.store(true, std::memory_order_relaxed);
+    }
+    if (follower->service_cancel.load(std::memory_order_relaxed)) {
+      if (out.status == SolveStatus::Feasible) {
+        out.status = SolveStatus::Cancelled;
+      }
+      if (out.status == SolveStatus::Cancelled) out.cancelled = true;
+    }
+    if (follower->deadline_fired.load(std::memory_order_relaxed)) {
+      out.stats["deadline_expired"] = true;
+    }
+    dedup_shared_.fetch_add(1, std::memory_order_relaxed);
+    resolve(follower, std::move(out), /*emit_finished=*/true);
+  }
+
   resolve(state, std::move(result), /*emit_finished=*/true);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_.erase(std::find(running_.begin(), running_.end(), state));
-    ++finished_;
+    finished_ += 1 + shared.size();
     if (!stopping_) dispatch_locked();
   }
   idle_cv_.notify_all();
@@ -408,6 +728,11 @@ void SchedulingService::watchdog_loop() {
     };
     for (const auto& state : queue_) consider(state);
     for (const auto& state : running_) consider(state);
+    // Single-flight followers are parked on their leaders (which are in
+    // the queue or running), not in either list — scan them too.
+    for (const auto& [key, leader] : inflight_) {
+      for (const auto& follower : leader->followers) consider(follower);
+    }
 
     if (!earliest.has_value()) {
       watchdog_cv_.wait(lock);
@@ -438,6 +763,38 @@ void SchedulingService::watchdog_loop() {
           it = queue_.erase(it);
         } else {
           ++it;
+        }
+      }
+      // An expired queue entry may have been a single-flight leader: drop
+      // its registry entry and re-admit its followers (the first becomes
+      // the new leader), or they would wait on a request that never runs.
+      bool requeued_followers = false;
+      for (const auto& state : expired) {
+        if (!state->cache_enabled) continue;
+        const auto it = inflight_.find(state->key);
+        if (it == inflight_.end() || it->second != state) continue;
+        inflight_.erase(it);
+        auto followers = std::move(state->followers);
+        state->followers.clear();
+        for (auto& follower : followers) {
+          lead_or_follow_locked(std::move(follower));
+          requeued_followers = true;
+        }
+      }
+      if (requeued_followers) dispatch_locked();
+      // Expired followers resolve here too: the deadline is a latency
+      // bound and must not depend on when their leader finishes. A
+      // leader's own expiry does NOT expire its followers — they re-enter
+      // the queue when the cancelled leader fails to share.
+      for (const auto& [key, leader] : inflight_) {
+        auto& followers = leader->followers;
+        for (auto it = followers.begin(); it != followers.end();) {
+          if (fire(*it)) {
+            expired.push_back(std::move(*it));
+            it = followers.erase(it);
+          } else {
+            ++it;
+          }
         }
       }
       // Resolved while the lock is held (like Queued emission), so there

@@ -21,6 +21,14 @@
 // Portfolio::solve is a thin client of this service, so single solves,
 // portfolio races and batched service traffic all go through one
 // scheduling path.
+//
+// Requests that opt in via SolveOptions::cache_mode additionally pass
+// through a canonicalizing solve cache (src/cache): results are keyed by
+// the instance's symmetry-invariant fingerprint, so a repeat of a solved
+// request — even job-permuted, bag-relabeled, or (for approximation
+// solvers) eps-rounded-equal — resolves from the cache without running a
+// solver, and concurrent identical requests single-flight onto one
+// underlying solve.
 #pragma once
 
 #include <atomic>
@@ -30,10 +38,12 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/request.h"
 #include "api/solver.h"
+#include "cache/solve_cache.h"
 #include "util/thread_pool.h"
 
 namespace bagsched::api {
@@ -83,6 +93,9 @@ struct ServiceConfig {
   /// Pending-queue cap; submits beyond it resolve immediately with
   /// status Cancelled and error "rejected: ..." (0 = unbounded).
   std::size_t max_queue_depth = 0;
+  /// Canonicalizing solve cache (shards, byte budget). Consulted only by
+  /// requests whose SolveOptions::cache_mode is not Off.
+  cache::CacheConfig cache;
 };
 
 struct ServiceStats {
@@ -94,6 +107,12 @@ struct ServiceStats {
                                 ///< submitted == finished once drained;
                                 ///< rejected handles resolve too but are
                                 ///< counted under rejected, not here
+  std::uint64_t cache_hits = 0;  ///< requests served from the solve cache
+                                 ///< (without running a solver)
+  std::uint64_t cache_rounded_hits = 0;  ///< subset of cache_hits that came
+                                         ///< through the eps-rounded key
+  std::uint64_t dedup_shared = 0;  ///< single-flight followers resolved
+                                   ///< from another request's solve
 };
 
 class SchedulingService {
@@ -124,10 +143,20 @@ class SchedulingService {
   void wait_idle();
 
   Stats stats() const;
+  /// Counters of the canonicalizing solve cache (hits/misses/evictions and
+  /// the resident footprint). Lookup counts include the service's own
+  /// second-chance lookups at dispatch time, so they can exceed
+  /// stats().cache_hits + misses of first-time submits.
+  cache::CacheStats cache_stats() const { return cache_.stats(); }
   std::size_t num_threads() const { return pool_.size(); }
 
  private:
   void dispatch_locked();
+  void prepare_cache(detail::RequestState& state);
+  std::optional<SolveResult> cache_lookup(detail::RequestState& state);
+  /// Single-flight admission: attach to an in-flight leader with the same
+  /// key as a follower, or become the leader and enter the queue.
+  void lead_or_follow_locked(std::shared_ptr<detail::RequestState> state);
   void run_request(std::shared_ptr<detail::RequestState> state);
   SolveResult execute(detail::RequestState& state);
   void resolve(const std::shared_ptr<detail::RequestState>& state,
@@ -142,12 +171,22 @@ class SchedulingService {
   std::condition_variable watchdog_cv_;
   std::vector<std::shared_ptr<detail::RequestState>> queue_;
   std::vector<std::shared_ptr<detail::RequestState>> running_;
+  /// Single-flight registry: exact cache key -> the leader request
+  /// currently queued or solving it. Guarded by mutex_ (as are the
+  /// leaders' follower lists).
+  std::unordered_map<cache::CacheKey, std::shared_ptr<detail::RequestState>,
+                     cache::CacheKeyHash>
+      inflight_;
   bool stopping_ = false;
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t finished_ = 0;
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_rounded_hits_{0};
+  std::atomic<std::uint64_t> dedup_shared_{0};
   std::atomic<std::uint64_t> next_id_{0};
 
+  cache::SolveCache cache_;
   util::ThreadPool pool_;
   std::thread watchdog_;
 };

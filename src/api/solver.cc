@@ -46,6 +46,15 @@ const char* to_string(ProgressKind kind) {
   return "?";
 }
 
+const char* to_string(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::Off: return "off";
+    case CacheMode::Read: return "read";
+    case CacheMode::ReadWrite: return "read-write";
+  }
+  return "?";
+}
+
 const char* to_string(SolveStatus status) {
   switch (status) {
     case SolveStatus::Optimal: return "optimal";

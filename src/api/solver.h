@@ -46,6 +46,19 @@ struct SolverInfo {
   std::string typical_scale;   ///< e.g. "n <= 24", "n <= 1e6"
 };
 
+/// How a request interacts with the service's canonicalizing solve cache
+/// (src/cache). The cache key is the instance's canonical fingerprint —
+/// invariant under job re-ordering and bag relabeling — plus the solver
+/// selection and the result-relevant options, so "identical request" means
+/// identical up to those symmetries.
+enum class CacheMode {
+  Off,        ///< bypass the cache entirely (default)
+  Read,       ///< serve hits, but never store this request's result
+  ReadWrite,  ///< serve hits and store cacheable results
+};
+
+const char* to_string(CacheMode mode);
+
 /// Options shared by every solver; each adapter reads the fields that apply
 /// to it and ignores the rest.
 struct SolveOptions {
@@ -67,6 +80,11 @@ struct SolveOptions {
   std::uint64_t seed = 1;
   /// Large-job threshold for the "greedy-stack" adversarial baseline.
   double stack_threshold = 0.5;
+  /// Solve-cache interaction when the request runs through a
+  /// SchedulingService (direct Solver::solve calls never consult a cache).
+  /// Requests also single-flight: concurrent identical requests share one
+  /// underlying solve when their cache_mode is not Off.
+  CacheMode cache_mode = CacheMode::Off;
   /// Cooperative cancellation, polled inside the solver hot loops.
   const util::CancellationToken* cancel = nullptr;
   /// Streaming progress: Incumbent events from the incumbent-maintaining

@@ -1,0 +1,154 @@
+#include "cache/canonicalize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/lower_bounds.h"
+#include "util/hash.h"
+
+namespace bagsched::cache {
+
+namespace {
+
+/// Per-bag separator word, so (2)(7) and (2,7) hash differently.
+constexpr std::uint64_t kBagMarker = 0xba65ba65ba65ba65ULL;
+
+/// Monotone uint64 key for a non-negative size: IEEE-754 doubles with the
+/// same sign compare like their bit patterns, so sorting by key sorts by
+/// size while hashing stays bit-exact.
+std::uint64_t exact_key(double size) {
+  if (size <= 0.0) return 0;  // normalizes -0.0; validate() rejects < 0
+  return std::bit_cast<std::uint64_t>(size);
+}
+
+/// Grid index of `size` on the multiplicative (1+eps) grid after
+/// normalizing by `scale`: the smallest integer g with (1+eps)^g >= size /
+/// scale, offset into unsigned range. Mirrors the EPTAS classification's
+/// round-up (classify.cc), so instances that the EPTAS would treat
+/// identically land on the same keys.
+std::uint64_t rounded_key(double size, double scale, double log_grid) {
+  if (size <= 0.0) return 0;
+  const double exponent = std::log(size / scale) / log_grid;
+  // Nudge before ceil so sizes sitting exactly on a grid point (e.g. the
+  // scale itself) don't flip cells to floating-point noise.
+  const auto grid = static_cast<long long>(std::ceil(exponent - 1e-9));
+  return static_cast<std::uint64_t>(grid + (1LL << 40));
+}
+
+/// Canonical form over arbitrary per-job keys: jobs sorted by key
+/// (descending) inside each bag, bags sorted by their key sequence; the
+/// fingerprint hashes machines + the sorted bag/key layout. Ties between
+/// equal-key jobs and identical bags break by original id — any consistent
+/// choice works, because tied jobs/bags are interchangeable.
+CanonicalForm canonicalize(const model::Instance& instance,
+                           const std::vector<std::uint64_t>& job_key,
+                           std::uint64_t salt) {
+  const int num_bags = instance.num_bags();
+  std::vector<std::vector<model::JobId>> bag_jobs;
+  bag_jobs.reserve(static_cast<std::size_t>(num_bags));
+  for (model::BagId bag = 0; bag < num_bags; ++bag) {
+    // Empty bags constrain nothing; skipping them lets instances that
+    // differ only in unused bag ids collide.
+    if (instance.bag_size(bag) == 0) continue;
+    std::vector<model::JobId> jobs = instance.bag(bag);
+    std::sort(jobs.begin(), jobs.end(),
+              [&](model::JobId a, model::JobId b) {
+                const auto ka = job_key[static_cast<std::size_t>(a)];
+                const auto kb = job_key[static_cast<std::size_t>(b)];
+                return ka != kb ? ka > kb : a < b;
+              });
+    bag_jobs.push_back(std::move(jobs));
+  }
+  std::sort(bag_jobs.begin(), bag_jobs.end(),
+            [&](const std::vector<model::JobId>& a,
+                const std::vector<model::JobId>& b) {
+              const std::size_t common = std::min(a.size(), b.size());
+              for (std::size_t i = 0; i < common; ++i) {
+                const auto ka = job_key[static_cast<std::size_t>(a[i])];
+                const auto kb = job_key[static_cast<std::size_t>(b[i])];
+                if (ka != kb) return ka > kb;
+              }
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();  // identical bags: stable order
+            });
+
+  CanonicalForm form;
+  form.job_at.reserve(static_cast<std::size_t>(instance.num_jobs()));
+  util::Hash128 hash(salt);
+  hash.update(static_cast<std::uint64_t>(instance.num_machines()));
+  hash.update(static_cast<std::uint64_t>(instance.num_jobs()));
+  for (const auto& jobs : bag_jobs) {
+    hash.update(kBagMarker);
+    for (const model::JobId job : jobs) {
+      hash.update(job_key[static_cast<std::size_t>(job)]);
+      form.job_at.push_back(job);
+    }
+  }
+  form.fingerprint = {hash.hi(), hash.lo()};
+  return form;
+}
+
+}  // namespace
+
+CanonicalForm Canonicalizer::exact(const model::Instance& instance) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(instance.num_jobs()));
+  for (const model::Job& job : instance.jobs()) {
+    keys.push_back(exact_key(job.size));
+  }
+  return canonicalize(instance, keys, /*salt=*/0x0e8ac7);
+}
+
+CanonicalForm Canonicalizer::rounded(const model::Instance& instance,
+                                     double eps) {
+  if (!(eps > 0.0)) {
+    throw std::invalid_argument(
+        "Canonicalizer::rounded: eps must be > 0");
+  }
+  double scale = model::combined_lower_bound(instance);
+  if (!(scale > 0.0)) scale = std::max(instance.max_size(), 1.0);
+  const double log_grid = std::log1p(eps);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(instance.num_jobs()));
+  for (const model::Job& job : instance.jobs()) {
+    keys.push_back(rounded_key(job.size, scale, log_grid));
+  }
+  // Salt the grid itself into the digest: the same instance under two
+  // different eps values must not collide even when the indices agree.
+  return canonicalize(instance, keys,
+                      /*salt=*/0x70a4ded ^ std::bit_cast<std::uint64_t>(eps));
+}
+
+model::Schedule remap_schedule(const model::Schedule& schedule,
+                               const CanonicalForm& from,
+                               const CanonicalForm& to) {
+  return model::remap_jobs(schedule, from.job_at, to.job_at);
+}
+
+namespace {
+
+std::vector<model::JobId> identity_order(std::size_t n) {
+  std::vector<model::JobId> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<model::JobId>(i);
+  }
+  return order;
+}
+
+}  // namespace
+
+model::Schedule to_canonical(const model::Schedule& schedule,
+                             const CanonicalForm& form) {
+  return model::remap_jobs(schedule, form.job_at,
+                           identity_order(form.job_at.size()));
+}
+
+model::Schedule from_canonical(const model::Schedule& schedule,
+                               const CanonicalForm& form) {
+  return model::remap_jobs(schedule, identity_order(form.job_at.size()),
+                           form.job_at);
+}
+
+}  // namespace bagsched::cache

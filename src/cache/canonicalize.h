@@ -1,0 +1,90 @@
+// Canonicalization of bag-constrained instances for the solve cache.
+//
+// Instances of P | bags | C_max are highly symmetric: re-ordering the jobs,
+// relabeling the bags, and permuting the (identical) machines all leave the
+// problem unchanged. Canonicalizer maps an instance to a canonical order —
+// jobs sorted by size inside each bag, bags sorted by their size multiset —
+// and hashes that order into a stable 128-bit fingerprint, so any two
+// instances that differ only by such a symmetry share a fingerprint and a
+// cached result can be carried from one to the other by a pure index remap
+// (remap_jobs; machine labels need no translation).
+//
+// Two key spaces:
+//  * exact(instance): keyed on the raw size bit patterns. Jobs at the same
+//    canonical position in two colliding instances have identical sizes,
+//    so a remapped schedule has the identical makespan and the cached
+//    status (including Optimal) transfers verbatim.
+//  * rounded(instance, eps): sizes are first normalized by the instance's
+//    combined lower bound and rounded up onto the (1+eps) grid — the same
+//    grid the EPTAS's classification step uses — so near-duplicate
+//    requests (jittered sizes, uniformly rescaled workloads) collide too.
+//    Jobs at the same canonical position then agree only up to a (1+eps)
+//    factor: a remapped schedule is still bag-feasible (the bag structure
+//    matches exactly), but its makespan must be re-evaluated on the
+//    requesting instance and optimality claims must be dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/schedule.h"
+
+namespace bagsched::cache {
+
+/// Stable 128-bit instance digest (see util::Hash128 for the mixer).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// An instance reduced to canonical order: the fingerprint plus the job
+/// permutation needed to move schedules in and out of that order.
+struct CanonicalForm {
+  Fingerprint fingerprint;
+  /// job_at[c] = the instance's JobId sitting at canonical position c.
+  std::vector<model::JobId> job_at;
+};
+
+class Canonicalizer {
+ public:
+  /// Canonical form under job re-ordering and bag relabeling; collisions
+  /// are exact (same sizes position-by-position).
+  static CanonicalForm exact(const model::Instance& instance);
+
+  /// Canonical form of the eps-rounded instance: sizes normalized by the
+  /// combined lower bound, rounded up onto the (1+eps) grid. Requires
+  /// eps > 0; collisions agree up to (1+eps) per job.
+  static CanonicalForm rounded(const model::Instance& instance, double eps);
+};
+
+/// Moves a schedule between two instances with equal fingerprints: the job
+/// at canonical position c of `to` gets the machine of the job at position
+/// c of `from`. Bag structure agrees position-by-position, so feasibility
+/// is preserved; makespans agree exactly for exact() forms and up to
+/// (1+eps) for rounded() forms.
+model::Schedule remap_schedule(const model::Schedule& schedule,
+                               const CanonicalForm& from,
+                               const CanonicalForm& to);
+
+/// Re-indexes an instance-order schedule into canonical order (position c
+/// holds the machine of job form.job_at[c]) — the order SolveCache stores.
+model::Schedule to_canonical(const model::Schedule& schedule,
+                             const CanonicalForm& form);
+
+/// Inverse of to_canonical: canonical-order schedule back into the job ids
+/// of the instance `form` was computed from.
+model::Schedule from_canonical(const model::Schedule& schedule,
+                               const CanonicalForm& form);
+
+}  // namespace bagsched::cache

@@ -1,0 +1,125 @@
+#include "cache/solve_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace bagsched::cache {
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::size_t seed = static_cast<std::size_t>(
+      key.fingerprint.hi ^ util::mix64(key.fingerprint.lo));
+  seed = util::hash_combine(seed, std::hash<std::string>{}(key.solver));
+  seed = util::hash_combine(seed, static_cast<std::size_t>(key.options));
+  seed = util::hash_combine(seed, key.rounded ? 0x5eedULL : 0ULL);
+  return seed;
+}
+
+std::uint64_t options_digest(const api::SolveOptions& options) {
+  util::Hash128 hash(0x0d16e57ULL);
+  hash.update(std::bit_cast<std::uint64_t>(options.eps));
+  hash.update(std::bit_cast<std::uint64_t>(options.time_limit_seconds));
+  hash.update(static_cast<std::uint64_t>(options.max_nodes));
+  hash.update(static_cast<std::uint64_t>(options.max_moves));
+  hash.update(static_cast<std::uint64_t>(options.multifit_iterations));
+  hash.update(options.seed);
+  hash.update(std::bit_cast<std::uint64_t>(options.stack_threshold));
+  return hash.lo();
+}
+
+std::size_t approx_result_bytes(const api::SolveResult& result) {
+  std::size_t bytes = sizeof(api::SolveResult);
+  bytes += result.schedule.assignment().capacity() *
+           sizeof(model::MachineId);
+  bytes += result.solver.capacity() + result.error.capacity();
+  for (const auto& [key, value] : result.stats) {
+    bytes += sizeof(value) + key.capacity() + 48;  // node overhead
+    if (const auto* text = std::get_if<std::string>(&value)) {
+      bytes += text->capacity();
+    }
+  }
+  return bytes;
+}
+
+SolveCache::SolveCache(CacheConfig config) : config_(config) {
+  std::size_t shards = std::bit_ceil(std::max<std::size_t>(
+      1, config_.num_shards));
+  config_.num_shards = shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = std::max<std::size_t>(1, config_.byte_budget / shards);
+}
+
+SolveCache::Shard& SolveCache::shard_for(const CacheKey& key) {
+  // The fingerprint is already well-mixed; stripe on its low bits.
+  return *shards_[static_cast<std::size_t>(key.fingerprint.lo) &
+                  (shards_.size() - 1)];
+}
+
+std::optional<api::SolveResult> SolveCache::lookup(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void SolveCache::insert(const CacheKey& key, api::SolveResult result) {
+  const std::size_t bytes = approx_result_bytes(result);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (bytes > shard_budget_) {
+    ++shard.oversized;
+    return;
+  }
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, std::move(result), bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.oversized += shard->oversized;
+    total.entries += shard->index.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void SolveCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace bagsched::cache

@@ -1,0 +1,130 @@
+// Sharded, thread-safe LRU cache of SolveResults keyed by canonical
+// instance fingerprints.
+//
+// The key is (fingerprint, solver selection, options digest, rounded?):
+// two requests share an entry only when their instances collide under the
+// Canonicalizer AND they ask the same solver(s) with the same
+// result-relevant options (eps, budgets, seed — see options_digest). The
+// stored result keeps its schedule in *canonical job order*; callers remap
+// it into their own instance's order on the way in and out
+// (cache::remap_schedule), which is what makes one entry serve every
+// permuted/relabeled twin.
+//
+// Concurrency: keys hash onto N mutex-striped shards (N rounded up to a
+// power of two), each shard an LRU list with its own byte budget
+// (byte_budget / N). Eviction is by approximate entry footprint
+// (schedule + telemetry strings), so a flood of large instances cannot
+// grow the cache beyond its budget. Hit/miss/insert/evict counters are
+// per-shard and aggregated by stats().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/solver.h"
+#include "cache/canonicalize.h"
+
+namespace bagsched::cache {
+
+struct CacheKey {
+  Fingerprint fingerprint;
+  /// Solver selection: a registry name, or a portfolio signature.
+  std::string solver;
+  /// Digest of the result-relevant SolveOptions (see options_digest).
+  std::uint64_t options = 0;
+  /// True when fingerprint came from Canonicalizer::rounded.
+  bool rounded = false;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.fingerprint == b.fingerprint && a.options == b.options &&
+           a.rounded == b.rounded && a.solver == b.solver;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+/// Digest of the SolveOptions fields that can change a solver's output:
+/// eps, budgets (time / nodes / moves), multifit iterations, seed and the
+/// stack threshold. Deliberately excludes num_threads (the parallel
+/// solvers produce thread-count-independent results) and the
+/// cancellation/progress plumbing.
+std::uint64_t options_digest(const api::SolveOptions& options);
+
+struct CacheConfig {
+  /// Mutex-striped shards; rounded up to a power of two, min 1.
+  std::size_t num_shards = 8;
+  /// Total byte budget across shards (approximate entry footprints).
+  std::size_t byte_budget = 64 * 1024 * 1024;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;   ///< entries evicted to fit the budget
+  std::uint64_t oversized = 0;   ///< inserts skipped: entry alone > budget
+  std::size_t entries = 0;
+  std::size_t bytes = 0;         ///< approximate resident footprint
+};
+
+/// Approximate heap footprint of a cached result (schedule assignment,
+/// strings, telemetry) — the unit of the byte budget.
+std::size_t approx_result_bytes(const api::SolveResult& result);
+
+class SolveCache {
+ public:
+  explicit SolveCache(CacheConfig config = {});
+
+  /// The stored canonical-order result, or nullopt. A hit refreshes the
+  /// entry's LRU position.
+  std::optional<api::SolveResult> lookup(const CacheKey& key);
+
+  /// Inserts (or replaces) the canonical-order result under `key`,
+  /// evicting least-recently-used entries until the shard fits its budget.
+  /// Entries larger than a whole shard budget are skipped (and counted).
+  void insert(const CacheKey& key, api::SolveResult result);
+
+  /// Aggregated over all shards; counters are monotone, entries/bytes are
+  /// a live snapshot.
+  CacheStats stats() const;
+
+  void clear();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t byte_budget() const { return config_.byte_budget; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    api::SolveResult result;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversized = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key);
+
+  CacheConfig config_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bagsched::cache

@@ -99,6 +99,27 @@ ValidationResult validate(const Instance& instance,
   return result;
 }
 
+Schedule remap_jobs(const Schedule& schedule,
+                    const std::vector<JobId>& from_jobs,
+                    const std::vector<JobId>& to_jobs) {
+  const std::size_t n = static_cast<std::size_t>(schedule.num_jobs());
+  if (from_jobs.size() != n || to_jobs.size() != n) {
+    throw std::invalid_argument(
+        "remap_jobs: permutation length does not match the schedule");
+  }
+  Schedule result(schedule.num_jobs(), schedule.num_machines());
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobId from = from_jobs[i];
+    const JobId to = to_jobs[i];
+    if (from < 0 || static_cast<std::size_t>(from) >= n || to < 0 ||
+        static_cast<std::size_t>(to) >= n) {
+      throw std::invalid_argument("remap_jobs: job id out of range");
+    }
+    result.assign(to, schedule.machine_of(from));
+  }
+  return result;
+}
+
 void require_valid(const Instance& instance, const Schedule& schedule,
                    const std::string& context) {
   const ValidationResult result = validate(instance, schedule);

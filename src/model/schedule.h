@@ -63,6 +63,15 @@ struct ValidationResult {
 /// Checks completeness and the bag-constraints.
 ValidationResult validate(const Instance& instance, const Schedule& schedule);
 
+/// Carries a schedule across a job re-numbering: job to_jobs[i] of the
+/// target instance gets the machine that job from_jobs[i] holds in
+/// `schedule`. Both lists must enumerate every job exactly once (the solve
+/// cache uses this with canonical job orders of fingerprint-equal twins).
+/// Throws std::invalid_argument on a length mismatch or an out-of-range id.
+Schedule remap_jobs(const Schedule& schedule,
+                    const std::vector<JobId>& from_jobs,
+                    const std::vector<JobId>& to_jobs);
+
 /// Convenience: validates and throws std::logic_error when invalid.
 void require_valid(const Instance& instance, const Schedule& schedule,
                    const std::string& context);

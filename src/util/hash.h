@@ -1,0 +1,53 @@
+// Non-cryptographic hashing for cache keys and fingerprints.
+//
+// Hash128 is a streaming 128-bit mixer built from the splitmix64 finalizer:
+// feed 64-bit words, read back a (hi, lo) digest. It is deterministic
+// across platforms and runs (no per-process seeding), which the solve
+// cache relies on for stable canonical fingerprints; it makes no
+// adversarial-collision guarantees.
+#pragma once
+
+#include <cstdint>
+
+namespace bagsched::util {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64 -> 64 bijection.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Streaming 128-bit hash: two lanes with different round constants, each
+/// mixed per word, cross-coupled in finalize so both halves depend on the
+/// whole stream.
+class Hash128 {
+ public:
+  explicit Hash128(std::uint64_t seed = 0)
+      : hi_(mix64(seed ^ 0x9e3779b97f4a7c15ULL)),
+        lo_(mix64(seed ^ 0xd1b54a32d192ed03ULL)) {}
+
+  void update(std::uint64_t word) {
+    hi_ = mix64(hi_ ^ (word * 0x9e3779b97f4a7c15ULL)) + count_;
+    lo_ = mix64(lo_ + word) ^ hi_;
+    ++count_;
+  }
+
+  std::uint64_t hi() const { return mix64(hi_ ^ mix64(lo_) ^ count_); }
+  std::uint64_t lo() const { return mix64(lo_ ^ mix64(hi_) ^ ~count_); }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// boost-style combine for composing std::hash values.
+inline std::size_t hash_combine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace bagsched::util
