@@ -3,8 +3,10 @@
 //   $ ./instance_tool gen <family> <n> <m> <seed> <out.instance>
 //   $ ./instance_tool solve <in.instance> <eps> [solver] [out.schedule]
 //                     [--json] [--deadline <s>] [--progress] [--cache-stats]
+//                     [--threads <n>]
 //   $ ./instance_tool portfolio <in.instance> <eps>
 //                     [--json] [--deadline <s>] [--progress] [--cache-stats]
+//                     [--threads <n>]
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
 //   $ ./instance_tool solvers
@@ -32,10 +34,10 @@ int usage() {
       "  instance_tool gen <family> <n> <m> <seed> <out.instance>\n"
       "  instance_tool solve <in.instance> <eps> [solver] [out.schedule]\n"
       "                [--json] [--deadline <s>] [--progress]\n"
-      "                [--cache-stats]\n"
+      "                [--cache-stats] [--threads <n>]\n"
       "  instance_tool portfolio <in.instance> <eps>\n"
       "                [--json] [--deadline <s>] [--progress]\n"
-      "                [--cache-stats]\n"
+      "                [--cache-stats] [--threads <n>]\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
@@ -60,6 +62,7 @@ struct Flags {
   bool cache_stats = false;  ///< solve with cache_mode=read-write twice and
                              ///< report the cache/dedup counters
   double deadline_seconds = -1.0;  ///< < 0 = no deadline
+  int threads = 0;  ///< SolveOptions::num_threads (0 = hardware)
 };
 
 Flags extract_flags(std::vector<std::string>& args) {
@@ -74,6 +77,8 @@ Flags extract_flags(std::vector<std::string>& args) {
       flags.cache_stats = true;
     } else if (args[i] == "--deadline" && i + 1 < args.size()) {
       flags.deadline_seconds = std::stod(args[++i]);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      flags.threads = std::stoi(args[++i]);
     } else {
       positional.push_back(args[i]);
     }
@@ -175,12 +180,32 @@ int main(int argc, char** argv) {
       const auto instance = model::load_instance(args[0]);
       api::SolveOptions options;
       options.eps = std::stod(args[1]);
+      options.num_threads = flags.threads;
       std::vector<std::string> solvers;
       if (is_solve) {
         solvers.push_back(args.size() >= 3 ? args[2] : "eptas");
       }
       const auto result = run_via_service(
           api::make_request(instance, options, solvers), flags);
+      if (flags.progress && result.solver == "eptas") {
+        // Per-guess probe lines already streamed as Phase events; close
+        // with the search's aggregate probe telemetry.
+        std::cerr << "guess search: "
+                  << api::stat_int(result.stats, "guesses")
+                  << " consumed, "
+                  << api::stat_int(result.stats, "probes_launched")
+                  << " launched, "
+                  << api::stat_int(result.stats, "probes_cancelled")
+                  << " cancelled, "
+                  << api::stat_int(result.stats, "probes_memo_hits")
+                  << " memo hits, "
+                  << api::stat_int(result.stats, "columns_warm_started")
+                  << " warm columns ("
+                  << api::stat_int(result.stats, "pricing_rounds_saved")
+                  << " pricing rounds saved), "
+                  << api::stat_int(result.stats, "threads")
+                  << " threads\n";
+      }
       if (is_solve && args.size() == 4 && result.schedule.num_jobs() > 0) {
         std::ofstream out(args[3]);
         model::write_schedule(out, result.schedule);

@@ -25,6 +25,26 @@ std::uint64_t options_digest(const api::SolveOptions& options) {
   hash.update(static_cast<std::uint64_t>(options.multifit_iterations));
   hash.update(options.seed);
   hash.update(std::bit_cast<std::uint64_t>(options.stack_threshold));
+  // Result-relevant EPTAS knobs: the constants profile and its caps, the
+  // reuse/enumeration toggles, the guess grid and the nested MILP budgets
+  // all steer which schedule comes out. num_threads is deliberately
+  // absent: the speculative guess search returns bit-identical results at
+  // every thread count, so requests differing only in threads may share a
+  // cache entry.
+  hash.update(static_cast<std::uint64_t>(options.eptas.profile));
+  hash.update(static_cast<std::uint64_t>(
+      options.eptas.max_priority_per_size));
+  hash.update(static_cast<std::uint64_t>(options.eptas.max_priority_total));
+  hash.update(static_cast<std::uint64_t>(options.eptas.max_patterns));
+  hash.update(static_cast<std::uint64_t>(options.eptas.max_milp_patterns));
+  hash.update(options.eptas.enable_rescue ? 1ULL : 0ULL);
+  hash.update(options.eptas.warm_start ? 1ULL : 0ULL);
+  hash.update(options.eptas.use_enumerated_milp ? 1ULL : 0ULL);
+  hash.update(
+      std::bit_cast<std::uint64_t>(options.eptas.guess_step_fraction));
+  hash.update(static_cast<std::uint64_t>(options.eptas.milp.max_nodes));
+  hash.update(std::bit_cast<std::uint64_t>(
+      options.eptas.milp.time_limit_seconds));
   return hash.lo();
 }
 

@@ -18,8 +18,9 @@ long long paper_b_prime(int d, double q) {
   return (static_cast<long long>(d) * qi + 1) * qi;
 }
 
-std::optional<Classification> classify(const Instance& scaled, double eps,
-                                       const EptasConfig& config) {
+std::optional<Classification> classify(
+    const Instance& scaled, double eps, const EptasConfig& config,
+    const std::vector<double>* precomputed_rounded) {
   Classification cls;
   cls.eps = eps;
   cls.target_height = 1.0 + 2.0 * eps + eps * eps;
@@ -32,7 +33,10 @@ std::optional<Classification> classify(const Instance& scaled, double eps,
   cls.rounded_size.resize(static_cast<std::size_t>(n));
   double rounded_area = 0.0;
   for (JobId j = 0; j < n; ++j) {
-    const double rounded = grid.round_up(scaled.job(j).size);
+    const double rounded =
+        precomputed_rounded != nullptr
+            ? (*precomputed_rounded)[static_cast<std::size_t>(j)]
+            : grid.round_up(scaled.job(j).size);
     cls.rounded_size[static_cast<std::size_t>(j)] = rounded;
     rounded_area += rounded;
     // A job larger than (1+eps) cannot fit below the guessed makespan.

@@ -55,9 +55,15 @@ struct Classification {
 
 /// Returns nullopt when no valid k exists (the guessed makespan is too
 /// small: total rounded area already exceeds (1+eps) * m).
-std::optional<Classification> classify(const model::Instance& scaled,
-                                       double eps,
-                                       const EptasConfig& config);
+///
+/// When `precomputed_rounded` is given (one grid value per job, as produced
+/// by util::EpsGrid::round_up on the scaled sizes), the rounding pass is
+/// skipped and `scaled` is only consulted for its bag structure and machine
+/// count — the guess search uses this to classify directly from a cached
+/// grid signature without materializing a scaled instance.
+std::optional<Classification> classify(
+    const model::Instance& scaled, double eps, const EptasConfig& config,
+    const std::vector<double>* precomputed_rounded = nullptr);
 
 /// The paper's b' = (d*q + 1) * q for given d and q (used by tests and by
 /// the PaperExact profile).

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "milp/branch_and_bound.h"
 #include "util/cancellation.h"
@@ -14,6 +15,18 @@
 namespace bagsched::eptas {
 
 enum class ConstantsProfile { Practical, PaperExact };
+
+/// One consumed dual-approximation probe, reported in the deterministic
+/// binary-search order regardless of how many worker threads ran it.
+struct GuessProbeEvent {
+  int index = 0;          ///< guess index on the search grid
+  double guess = 0.0;     ///< makespan guess T = lower * step^index
+  bool success = false;   ///< the pipeline certified a schedule at T
+  bool memo_hit = false;  ///< served from the rounded-grid probe memo
+  bool anchor = false;    ///< this was the warm-start anchor probe
+  int warm_columns = 0;   ///< anchor columns accepted into the master pool
+  int pricing_rounds = 0; ///< column-generation rounds this probe ran
+};
 
 struct EptasConfig {
   ConstantsProfile profile = ConstantsProfile::Practical;
@@ -46,7 +59,28 @@ struct EptasConfig {
   /// factor (1 + eps * guess_step_fraction).
   double guess_step_fraction = 0.5;
 
-  /// Cooperative cancellation: checked between makespan guesses and inside
+  // --- Dual-approximation search ------------------------------------------
+  /// Worker threads for the speculative parallel guess search (1 =
+  /// sequential, 0 = hardware concurrency). The returned final_guess,
+  /// makespan and schedule are bit-identical at every thread count: probe
+  /// outcomes are pure functions of the guess's rounded grid, and the
+  /// search consumes them in the sequential binary-search order.
+  int num_threads = 1;
+
+  /// Cross-guess reuse: probe the top guess first as a warm-start anchor
+  /// (its master patterns seed every other probe's column pool), memoize
+  /// probe outcomes per rounded-size grid signature (adjacent guesses often
+  /// round identically), and reuse per-probe scratch buffers. Off = every
+  /// probe runs cold, as the pre-reuse pipeline did.
+  bool warm_start = true;
+
+  /// Observer for consumed probes (deterministic order; called on the
+  /// search's controller thread). Used by the api layer to stream per-guess
+  /// progress. Empty = no reporting.
+  std::function<void(const GuessProbeEvent&)> on_probe;
+
+  /// Cooperative cancellation: checked between makespan guesses, inside the
+  /// per-guess pipeline stages (placement, small jobs, repair, lift) and
   /// the fallback local search; eptas_schedule forwards it to milp.cancel
   /// when that is unset, so the per-guess MILP aborts promptly too.
   const util::CancellationToken* cancel = nullptr;

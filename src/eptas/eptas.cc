@@ -1,108 +1,18 @@
 #include "eptas/eptas.h"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
-#include "eptas/classify.h"
-#include "eptas/enumerate.h"
-#include "eptas/milp_model.h"
-#include "eptas/pattern.h"
-#include "eptas/placement.h"
-#include "eptas/small_jobs.h"
-#include "eptas/transform.h"
+#include "eptas/guess_search.h"
 #include "model/lower_bounds.h"
 #include "sched/greedy_bags.h"
 #include "sched/local_search.h"
-#include "util/logging.h"
 
 namespace bagsched::eptas {
 
 using model::Instance;
 using model::Schedule;
-
-namespace {
-
-/// Scales every size by 1/guess so the target makespan becomes 1.
-Instance scale_instance(const Instance& instance, double guess) {
-  std::vector<double> sizes;
-  std::vector<model::BagId> bags;
-  sizes.reserve(static_cast<std::size_t>(instance.num_jobs()));
-  bags.reserve(static_cast<std::size_t>(instance.num_jobs()));
-  for (const auto& job : instance.jobs()) {
-    sizes.push_back(job.size / guess);
-    bags.push_back(job.bag);
-  }
-  return Instance::from_vectors(sizes, bags, instance.num_machines());
-}
-
-}  // namespace
-
-std::optional<Schedule> try_makespan_guess(const Instance& instance,
-                                           double eps, double guess,
-                                           const EptasConfig& config,
-                                           EptasStats* stats) {
-  const Instance scaled = scale_instance(instance, guess);
-
-  const auto cls = classify(scaled, eps, config);
-  if (!cls) return std::nullopt;
-
-  const Transformed transformed = transform(scaled, *cls);
-  const PatternSpace space = build_pattern_space(transformed, *cls);
-
-  std::optional<MasterSolution> master;
-  if (config.use_enumerated_milp) {
-    // The paper's literal MILP; on enumeration blow-up fall back to the
-    // column-generated master (same program, restricted columns).
-    if (enumerate_all_patterns(space, config.max_patterns)) {
-      master = solve_enumerated_master(space, transformed, *cls, config);
-      if (!master) return std::nullopt;  // proven infeasible at this guess
-    }
-  }
-  if (!master) {
-    master = solve_master(space, transformed, *cls, config);
-  }
-  if (!master) return std::nullopt;
-
-  auto placement = place_ml_jobs(transformed, space, *master, config);
-  if (!placement) return std::nullopt;
-
-  SmallJobStats small_stats;
-  if (!schedule_small_jobs(transformed, *cls, space, *master, *placement,
-                           config, small_stats)) {
-    return std::nullopt;
-  }
-
-  const auto medium_machine =
-      insert_medium_jobs(scaled, transformed, *placement);
-  if (!medium_machine) return std::nullopt;
-
-  Schedule lifted = lift_solution(scaled, transformed, *placement,
-                                  *medium_machine, config, small_stats);
-
-  // Final gate: the lifted schedule must be a complete, bag-feasible
-  // schedule of the *original* instance (assignments transfer verbatim
-  // because the scaling was uniform).
-  const auto validation = model::validate(instance, lifted);
-  if (!validation.ok()) {
-    BAGSCHED_LOG(Debug) << "guess " << guess
-                        << " rejected: " << validation.message;
-    return std::nullopt;
-  }
-
-  if (stats != nullptr) {
-    stats->columns = master->stats.columns;
-    stats->pricing_rounds = master->stats.pricing_rounds;
-    stats->lp_iterations = master->stats.lp_iterations;
-    stats->milp_nodes = master->stats.milp_nodes;
-    stats->swaps = placement->swaps;
-    stats->origin_repairs = small_stats.origin_repairs;
-    stats->lift_swaps = small_stats.lift_swaps;
-    stats->rescues = placement->rescues + small_stats.rescues;
-  }
-  return lifted;
-}
 
 EptasResult eptas_schedule(const Instance& instance, double eps,
                            const EptasConfig& config) {
@@ -144,45 +54,36 @@ EptasResult eptas_schedule(const Instance& instance, double eps,
     ++num_guesses;
   }
 
-  // Binary search for the smallest successful guess (the standard dual
+  // Search for the smallest successful guess (the standard dual
   // approximation argument: every T >= OPT "should" succeed; failures from
   // the practical caps only push the search upward, never break
-  // feasibility of the result).
-  int lo = 0;
-  int hi = num_guesses;  // `hi` == num_guesses means "no guess succeeded"
-  std::optional<Schedule> best;
-  EptasStats best_stats;
-  while (lo < hi) {
-    if (util::stop_requested(effective.cancel)) break;
-    const int mid = lo + (hi - lo) / 2;
-    const double guess = lower * std::pow(step, mid);
-    EptasStats guess_stats;
-    ++result.stats.guesses_tried;
-    auto schedule =
-        try_makespan_guess(instance, eps, guess, effective, &guess_stats);
-    if (schedule) {
-      best = std::move(schedule);
-      best_stats = guess_stats;
-      best_stats.final_guess = guess;
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
+  // feasibility of the result). guess_search.cc probes guesses — possibly
+  // speculatively in parallel, with cross-guess reuse — but consumes the
+  // outcomes in the sequential binary-search order, so the result is
+  // bit-identical at every thread count.
+  GuessSearchResult search =
+      run_guess_search(instance, eps, lower, step, num_guesses, effective);
 
-  if (best) {
-    const double eptas_makespan = best->makespan(instance);
-    const int guesses = result.stats.guesses_tried;
-    const double lb = result.stats.lower_bound;
-    const double ub = result.stats.greedy_upper;
-    result.stats = best_stats;
-    result.stats.guesses_tried = guesses;
-    result.stats.lower_bound = lb;
-    result.stats.greedy_upper = ub;
+  const int guesses = search.guesses_tried;
+  result.stats = search.best_stats;
+  result.stats.guesses_tried = guesses;
+  result.stats.lower_bound = lower;
+  result.stats.greedy_upper = upper;
+  result.stats.threads_used = search.threads_used;
+  result.stats.probes_launched = search.probes_launched;
+  result.stats.probes_cancelled = search.probes_cancelled;
+  result.stats.probes_memo_hits = search.memo_hits;
+  result.stats.columns_warm_started = search.columns_warm_started;
+  result.stats.pricing_rounds_saved = search.pricing_rounds_saved;
+
+  if (search.best) {
+    const double eptas_makespan = search.best->makespan(instance);
+    result.stats.final_guess =
+        lower * std::pow(step, search.best_index);
     result.stats.pipeline_succeeded = true;
     result.stats.pipeline_makespan = eptas_makespan;
     if (eptas_makespan <= upper + 1e-12) {
-      result.schedule = std::move(*best);
+      result.schedule = std::move(*search.best);
       result.makespan = eptas_makespan;
       return result;
     }

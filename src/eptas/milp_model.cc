@@ -238,10 +238,10 @@ std::vector<Pattern> seed_pool(const PatternSpace& space,
 
 }  // namespace
 
-std::optional<MasterSolution> solve_master(const PatternSpace& space,
-                                           const Transformed& transformed,
-                                           const Classification& cls,
-                                           const EptasConfig& config) {
+std::optional<MasterSolution> solve_master(
+    const PatternSpace& space, const Transformed& transformed,
+    const Classification& cls, const EptasConfig& config,
+    const std::vector<std::vector<model::JobId>>* warm_machines) {
   const MasterShape shape = compute_shape(space, transformed, cls);
   if (shape.free_area_rhs < -1e-9) return std::nullopt;  // area alone fails
   for (int i = 0; i < space.num_priority(); ++i) {
@@ -256,9 +256,25 @@ std::optional<MasterSolution> solve_master(const PatternSpace& space,
   std::set<std::vector<int>> signatures;
   for (const Pattern& pattern : pool) signatures.insert(pattern.signature());
 
+  // --- Cross-guess warm start: previous probe's machines as columns. -------
+  std::set<std::size_t> warm_indices;
+  if (warm_machines != nullptr) {
+    for (const auto& machine_jobs : *warm_machines) {
+      if (static_cast<int>(pool.size()) >= config.max_milp_patterns) break;
+      const auto pattern =
+          pattern_from_machine(space, transformed, machine_jobs);
+      if (!pattern) continue;
+      if (!signatures.insert(pattern->signature()).second) continue;
+      warm_indices.insert(pool.size());
+      pool.push_back(*pattern);
+    }
+    stats.warm_columns = static_cast<int>(warm_indices.size());
+  }
+
   // --- Column generation at the root ---------------------------------------
   const int max_rounds = 80;
   for (int round = 0; round < max_rounds; ++round) {
+    if (util::stop_requested(config.milp.cancel)) break;
     if (static_cast<int>(pool.size()) >= config.max_milp_patterns) break;
     BuiltMaster built = build_master(space, shape, pool);
     const lp::LpResult lp_result = lp::solve(built.model);
@@ -296,15 +312,16 @@ std::optional<MasterSolution> solve_master(const PatternSpace& space,
   }
 
   MasterSolution solution;
-  solution.stats = stats;
   for (std::size_t p = 0; p < pool.size(); ++p) {
     const int count = static_cast<int>(
         std::llround(milp_result.x[static_cast<std::size_t>(p)]));
     if (count > 0) {
       solution.patterns.push_back(pool[p]);
       solution.multiplicity.push_back(count);
+      if (warm_indices.count(p) > 0) ++stats.warm_columns_used;
     }
   }
+  solution.stats = stats;
   return solution;
 }
 

@@ -37,6 +37,11 @@ struct MasterStats {
   int pricing_rounds = 0;
   long long lp_iterations = 0;
   long long milp_nodes = 0;
+  /// Warm-start columns accepted into the pool (cross-guess reuse).
+  int warm_columns = 0;
+  /// Warm-start columns the integral optimum uses with positive
+  /// multiplicity — each stands in for at least one pricing round.
+  int warm_columns_used = 0;
 };
 
 struct MasterSolution {
@@ -48,9 +53,16 @@ struct MasterSolution {
 
 /// Runs column generation + branch-and-bound. Returns nullopt when the
 /// guessed makespan T (implicit in space.max_height) admits no solution.
-std::optional<MasterSolution> solve_master(const PatternSpace& space,
-                                           const Transformed& transformed,
-                                           const Classification& cls,
-                                           const EptasConfig& config);
+///
+/// `warm_machines`, when given, lists the medium/large content of each
+/// machine of a previously certified probe as I'-job-id lists; every list
+/// that still parses as a valid pattern of `space` (height <= T', one entry
+/// per priority bag) is added to the seed pool before column generation.
+/// Seeding is best-effort and deterministic — unparsable machines are
+/// skipped — and the accepted/used counts land in MasterStats.
+std::optional<MasterSolution> solve_master(
+    const PatternSpace& space, const Transformed& transformed,
+    const Classification& cls, const EptasConfig& config,
+    const std::vector<std::vector<model::JobId>>* warm_machines = nullptr);
 
 }  // namespace bagsched::eptas

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "util/cancellation.h"
 #include "util/grid.h"
 #include "util/logging.h"
 
@@ -115,6 +116,9 @@ std::optional<PlacementResult> place_ml_jobs(const Transformed& transformed,
 
   // ---- Priority bags: jobs into their designated slots (with origin). ----
   for (int i = 0; i < space.num_priority(); ++i) {
+    // A deadline or a dominated-probe cancel must not stall for the whole
+    // placement stage; an aborted placement reads as a failed guess.
+    if (util::stop_requested(config.cancel)) return std::nullopt;
     const auto& pbag = space.priority_bags[static_cast<std::size_t>(i)];
     for (std::size_t s = 0; s < pbag.sizes.size(); ++s) {
       // Jobs of this size-restricted bag.
@@ -204,6 +208,7 @@ std::optional<PlacementResult> place_ml_jobs(const Transformed& transformed,
       return total;
     };
     while (jobs_remaining() > 0) {
+      if (util::stop_requested(config.cancel)) return std::nullopt;
       // Pick the bag with the most remaining jobs (the paper's greedy).
       std::size_t best_bag = 0;
       for (std::size_t g = 1; g < by_bag.size(); ++g) {

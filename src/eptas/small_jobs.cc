@@ -121,6 +121,7 @@ bool schedule_small_jobs(const Transformed& transformed,
 
   for (const auto& [neg_area, bag] : small_bags) {
     (void)neg_area;
+    if (util::stop_requested(config.cancel)) return false;
     std::vector<JobId> jobs;
     for (JobId j : inst.bag(bag)) {
       if (transformed.class_of(j) == JobClass::Small) jobs.push_back(j);
@@ -179,6 +180,7 @@ bool schedule_small_jobs(const Transformed& transformed,
 
   // --- bag-LPT inside each group. ------------------------------------------
   for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (util::stop_requested(config.cancel)) return false;
     const Group& group = groups[g];
     std::vector<sched::LptBag> bags;
     std::vector<BagId> bag_ids;
@@ -210,6 +212,7 @@ bool schedule_small_jobs(const Transformed& transformed,
   // (Only priority bags can conflict: non-priority small-part bags hold no
   // ml jobs in I'.)
   for (int i = 0; i < space.num_priority(); ++i) {
+    if (util::stop_requested(config.cancel)) return false;
     const BagId bag = space.priority_bags[static_cast<std::size_t>(i)].bag;
     // Machine -> ml job of this bag.
     std::map<int, JobId> ml_on;
@@ -271,7 +274,8 @@ bool schedule_small_jobs(const Transformed& transformed,
 
 std::optional<std::vector<int>> insert_medium_jobs(
     const model::Instance& original, const Transformed& transformed,
-    const PlacementResult& placement) {
+    const PlacementResult& placement,
+    const util::CancellationToken* cancel) {
   const model::Instance& inst = transformed.instance;
   const int m = inst.num_machines();
   if (transformed.removed_medium.empty()) return std::vector<int>{};
@@ -314,6 +318,7 @@ std::optional<std::vector<int>> insert_medium_jobs(
   const int total = static_cast<int>(transformed.removed_medium.size());
   // Ramp the per-machine capacity until the flow saturates all demands.
   for (int cap = std::max(1, (total + m - 1) / m); cap <= total; ++cap) {
+    if (util::stop_requested(cancel)) return std::nullopt;
     flow::AssignmentProblem problem;
     problem.demands = demands;
     problem.capacities.assign(static_cast<std::size_t>(m), cap);
@@ -343,7 +348,8 @@ model::Schedule lift_solution(const model::Instance& original,
                               PlacementResult& placement,
                               const std::vector<int>& medium_machine,
                               const EptasConfig& config,
-                              SmallJobStats& stats) {
+                              SmallJobStats& stats,
+                              const Classification* cls) {
   const model::Instance& inst = transformed.instance;
   const int m = inst.num_machines();
   const int orig_bags = original.num_bags();
@@ -357,8 +363,9 @@ model::Schedule lift_solution(const model::Instance& original,
     }
   }
   for (std::size_t i = 0; i < medium_machine.size(); ++i) {
+    const JobId orig = transformed.removed_medium[i];
     loads[static_cast<std::size_t>(medium_machine[i])] +=
-        original.job(transformed.removed_medium[i]).size;
+        cls != nullptr ? cls->size_of(orig) : original.job(orig).size;
   }
 
   // ml_of[l][machine] = true when machine holds a medium/large job of
@@ -380,6 +387,7 @@ model::Schedule lift_solution(const model::Instance& original,
   // Small jobs of each original bag: machine -> I' job (at most one real
   // small plus possibly fillers; the bag-LPT stages never co-locate two).
   for (BagId orig = 0; orig < orig_bags; ++orig) {
+    if (util::stop_requested(config.cancel)) break;  // keep schedule valid
     if (ml_of[static_cast<std::size_t>(orig)].empty()) continue;
     // Collect this original bag's I' small jobs (same bag id: the
     // transformation keeps small-part bags under the original id).

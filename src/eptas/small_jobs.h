@@ -41,22 +41,31 @@ bool schedule_small_jobs(const Transformed& transformed,
 /// Lemma 3: assigns the removed non-priority medium jobs to machines via a
 /// flow network (no machine receives a job of a bag whose large-part jobs it
 /// already holds, and at most one medium per original bag per machine).
-/// `original` is the scaled instance the mediums come from. Returns machine
-/// per removed medium (parallel to transformed.removed_medium), or nullopt
-/// when no assignment exists.
+/// `original` is the instance the mediums come from (only its bag structure
+/// is read). Returns machine per removed medium (parallel to
+/// transformed.removed_medium), or nullopt when no assignment exists or
+/// `cancel` fires between capacity-ramp rounds.
 std::optional<std::vector<int>> insert_medium_jobs(
     const model::Instance& original, const Transformed& transformed,
-    const PlacementResult& placement);
+    const PlacementResult& placement,
+    const util::CancellationToken* cancel = nullptr);
 
 /// Lemma 4: resolves conflicts between small jobs and medium/large jobs of
 /// the same *original* bag by swapping with filler jobs, then produces the
 /// final schedule of the original (scaled) instance. `medium_machine` is
 /// parallel to transformed.removed_medium.
+///
+/// When `cls` is given, the removed mediums' load bookkeeping (which only
+/// steers rescue tie-breaks) uses their rounded sizes, making the result a
+/// pure function of the rounded grid — the guess search relies on this to
+/// share outcomes between guesses that round identically. Without it the
+/// raw sizes of `original` are used, as before.
 model::Schedule lift_solution(const model::Instance& original,
                               const Transformed& transformed,
                               PlacementResult& placement,
                               const std::vector<int>& medium_machine,
                               const EptasConfig& config,
-                              SmallJobStats& stats);
+                              SmallJobStats& stats,
+                              const Classification* cls = nullptr);
 
 }  // namespace bagsched::eptas
