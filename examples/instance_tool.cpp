@@ -3,19 +3,22 @@
 //   $ ./instance_tool gen <family> <n> <m> <seed> <out.instance>
 //   $ ./instance_tool solve <in.instance> <eps> [solver] [out.schedule]
 //                     [--json] [--deadline <s>] [--progress] [--cache-stats]
-//                     [--threads <n>]
+//                     [--threads <n>] [--connect <host:port>]
 //   $ ./instance_tool portfolio <in.instance> <eps>
 //                     [--json] [--deadline <s>] [--progress] [--cache-stats]
-//                     [--threads <n>]
+//                     [--threads <n>] [--connect <host:port>]
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
 //   $ ./instance_tool solvers
+//   $ ./instance_tool metrics <host:port>
 //
 // Covers the full user workflow through the unified API: generate a
 // workload, schedule it asynchronously through the SchedulingService with
 // any registered solver (or a portfolio of them), stream progress, enforce
 // a deadline, emit machine-readable JSON, validate any schedule against an
-// instance, and inspect bounds.
+// instance, and inspect bounds. With --connect the solve runs on a remote
+// sched_server over the NDJSON wire protocol instead of in-process, and
+// `metrics` scrapes a server's Prometheus endpoint.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,6 +27,7 @@
 
 #include "api/api.h"
 #include "model/io.h"
+#include "net/client.h"
 #include "util/json.h"
 
 namespace {
@@ -35,12 +39,15 @@ int usage() {
       "  instance_tool solve <in.instance> <eps> [solver] [out.schedule]\n"
       "                [--json] [--deadline <s>] [--progress]\n"
       "                [--cache-stats] [--threads <n>]\n"
+      "                [--connect <host:port>]\n"
       "  instance_tool portfolio <in.instance> <eps>\n"
       "                [--json] [--deadline <s>] [--progress]\n"
       "                [--cache-stats] [--threads <n>]\n"
+      "                [--connect <host:port>]\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
+      "  instance_tool metrics <host:port>\n"
       "  instance_tool jsoncheck <file.json>\n"
       "families:";
   for (const auto& family : bagsched::api::instance_families()) {
@@ -63,6 +70,7 @@ struct Flags {
                              ///< report the cache/dedup counters
   double deadline_seconds = -1.0;  ///< < 0 = no deadline
   int threads = 0;  ///< SolveOptions::num_threads (0 = hardware)
+  std::string connect;  ///< non-empty: solve on a remote sched_server
 };
 
 Flags extract_flags(std::vector<std::string>& args) {
@@ -79,6 +87,8 @@ Flags extract_flags(std::vector<std::string>& args) {
       flags.deadline_seconds = std::stod(args[++i]);
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       flags.threads = std::stoi(args[++i]);
+    } else if (args[i] == "--connect" && i + 1 < args.size()) {
+      flags.connect = args[++i];
     } else {
       positional.push_back(args[i]);
     }
@@ -110,12 +120,51 @@ bagsched::api::ProgressFn progress_printer() {
   };
 }
 
+/// Remote mode (--connect): the same request goes to a sched_server over
+/// the NDJSON wire protocol; progress frames stream back through the usual
+/// printer. A wall-clock deadline cannot cross the wire, so --deadline
+/// maps onto options.time_limit_seconds, enforced server-side. With
+/// --cache-stats the request is replayed and the server's stats frame is
+/// reported instead of in-process counters.
+bagsched::api::SolveResult run_remote(bagsched::api::SolveRequest request,
+                                      const Flags& flags) {
+  namespace api = bagsched::api;
+  if (flags.deadline_seconds >= 0.0) {
+    request.options.time_limit_seconds = flags.deadline_seconds;
+  }
+  if (flags.cache_stats) {
+    request.options.cache_mode = api::CacheMode::ReadWrite;
+  }
+  auto client = bagsched::net::Client::connect(flags.connect);
+  const api::ProgressFn printer =
+      flags.progress ? progress_printer() : api::ProgressFn{};
+  api::SolveResult result =
+      client.solve(request, "1", flags.progress, printer);
+  if (flags.cache_stats) {
+    const auto replayed = client.solve(request, "2");
+    const auto stats = client.stats();
+    const bagsched::util::Json& service = stats.at("service");
+    std::cerr << "server: " << service.at("cache_hits").as_int()
+              << " cache hits ("
+              << service.at("cache_rounded_hits").as_int() << " rounded), "
+              << service.at("dedup_shared").as_int()
+              << " single-flight shared\n"
+              << "replay "
+              << (api::stat_bool(replayed.stats, "cache_hit")
+                      ? "hit the cache"
+                      : "MISSED the cache")
+              << "\n";
+  }
+  return result;
+}
+
 /// Submits one request and waits — the async workflow in its smallest form.
 /// With --cache-stats, the request runs with cache_mode=read-write and is
 /// submitted twice (solve, then replay): the second pass must come back as
 /// a cache hit, and the cache/dedup counters are reported on stderr.
 bagsched::api::SolveResult run_via_service(bagsched::api::SolveRequest request,
                                            const Flags& flags) {
+  if (!flags.connect.empty()) return run_remote(std::move(request), flags);
   if (flags.deadline_seconds >= 0.0) {
     request.deadline = bagsched::api::deadline_in(flags.deadline_seconds);
   }
@@ -275,6 +324,11 @@ int main(int argc, char** argv) {
                   << "\t" << info.guarantee_text << "\t(" << info.typical_scale
                   << ")\t" << info.summary << "\n";
       }
+      return 0;
+    }
+    if (command == "metrics" && args.size() == 1) {
+      const auto [host, port] = net::parse_hostport(args[0]);
+      std::cout << net::fetch_metrics(host, port);
       return 0;
     }
     if (command == "jsoncheck" && args.size() == 1) {

@@ -1,0 +1,119 @@
+// sched_server — the network-facing scheduler daemon.
+//
+//   $ ./sched_server --port 7411 --threads 4 --max-queue 256
+//   listening on 127.0.0.1:7411
+//
+// Serves the NDJSON wire protocol (DESIGN.md §5) over TCP: clients submit
+// solve requests, stream Queued/Started/Phase/Incumbent/Finished progress
+// frames back on the same connection, and scrape Prometheus metrics via
+// `GET /metrics` on the same port. SIGTERM/SIGINT trigger a graceful
+// drain: the listener closes, in-flight solves get --drain-grace seconds
+// to finish, every Finished frame is flushed, and the process exits 0.
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "net/server.h"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: sched_server [--port <p>] [--bind <addr>] [--threads <n>]\n"
+      "                    [--max-concurrent <n>] [--max-queue <n>]\n"
+      "                    [--drain-grace <seconds>]\n"
+      "\n"
+      "  --port            TCP port (default 0 = ephemeral, printed)\n"
+      "  --bind            bind address (default 127.0.0.1)\n"
+      "  --threads         solver worker threads (default: hardware)\n"
+      "  --max-concurrent  solves running at once (default: pool size)\n"
+      "  --max-queue       pending-queue cap; beyond it submits are\n"
+      "                    rejected with a structured error frame\n"
+      "                    (default 0 = unbounded)\n"
+      "  --drain-grace     seconds in-flight solves may keep running\n"
+      "                    after SIGTERM before cancellation (default 5)\n";
+  return 2;
+}
+
+// Self-pipe: the signal handler only writes one byte (async-signal-safe);
+// main() blocks on the read end and runs the drain from normal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bagsched;
+  net::ServerConfig config;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const bool has_value = i + 1 < args.size();
+      if (args[i] == "--port" && has_value) {
+        const int port = std::stoi(args[++i]);
+        if (port < 0 || port > 65535) throw std::runtime_error("bad --port");
+        config.port = static_cast<std::uint16_t>(port);
+      } else if (args[i] == "--bind" && has_value) {
+        config.bind_address = args[++i];
+      } else if (args[i] == "--threads" && has_value) {
+        config.service.num_threads =
+            static_cast<std::size_t>(std::stoul(args[++i]));
+      } else if (args[i] == "--max-concurrent" && has_value) {
+        config.service.max_concurrent =
+            static_cast<std::size_t>(std::stoul(args[++i]));
+      } else if (args[i] == "--max-queue" && has_value) {
+        config.service.max_queue_depth =
+            static_cast<std::size_t>(std::stoul(args[++i]));
+      } else if (args[i] == "--drain-grace" && has_value) {
+        config.drain_grace_seconds = std::stod(args[++i]);
+      } else {
+        std::cerr << "unknown or incomplete flag: " << args[i] << "\n";
+        return usage();
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return usage();
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "error: cannot create signal pipe\n";
+    return 1;
+  }
+
+  try {
+    net::SchedServer server(config);
+    server.start();
+    std::cout << "listening on " << config.bind_address << ":"
+              << server.port() << std::endl;
+
+    struct sigaction action = {};
+    action.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::cout << "draining..." << std::endl;
+    server.request_drain();
+    server.wait();
+    const auto counters = server.counters();
+    std::cout << "drained: " << counters.connections_accepted
+              << " connections served, " << counters.frames_in
+              << " frames in, " << counters.frames_out << " frames out\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

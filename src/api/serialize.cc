@@ -1,5 +1,7 @@
 #include "api/serialize.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -25,7 +27,15 @@ util::Json telemetry_value_to_json(const TelemetryValue& value) {
     }
   } else if (const auto* v = std::get_if<double>(&value)) {
     entry.set("t", "r");
-    entry.set("v", *v);
+    // The JSON writer renders non-finite doubles as null, which would not
+    // decode back; tagged strings keep NaN/±inf wire-safe.
+    if (std::isnan(*v)) {
+      entry.set("v", "nan");
+    } else if (std::isinf(*v)) {
+      entry.set("v", *v > 0 ? "inf" : "-inf");
+    } else {
+      entry.set("v", *v);
+    }
   } else if (const auto* v = std::get_if<bool>(&value)) {
     entry.set("t", "b");
     entry.set("v", *v);
@@ -42,7 +52,18 @@ TelemetryValue telemetry_value_from_json(const util::Json& entry) {
   if (tag == "i") {
     return v.is_string() ? std::stoll(v.as_string()) : v.as_int();
   }
-  if (tag == "r") return v.as_number();
+  if (tag == "r") {
+    if (v.is_string()) {
+      const std::string& text = v.as_string();
+      if (text == "nan") return std::numeric_limits<double>::quiet_NaN();
+      if (text == "inf") return std::numeric_limits<double>::infinity();
+      if (text == "-inf") return -std::numeric_limits<double>::infinity();
+      throw std::runtime_error("telemetry: bad real value \"" + text + "\"");
+    }
+    // Frames written before non-finite tagging rendered NaN/inf as null.
+    if (v.is_null()) return std::numeric_limits<double>::quiet_NaN();
+    return v.as_number();
+  }
   if (tag == "b") return v.as_bool();
   if (tag == "s") return v.as_string();
   throw std::runtime_error("telemetry: unknown value tag \"" + tag + "\"");

@@ -288,6 +288,10 @@ std::vector<SolveHandle> SchedulingService::submit_batch(
       if (state->submit_hit.has_value()) {
         ++submitted_;
         ++finished_;
+        ++cache_hits_;
+        if (stat_bool(state->submit_hit->stats, "cache_hit_rounded")) {
+          ++cache_rounded_hits_;
+        }
         state->emit({.kind = ProgressKind::Queued});
         hits.push_back(std::move(state));
         continue;
@@ -358,13 +362,12 @@ SchedulingService::Stats SchedulingService::stats() const {
   Stats stats;
   stats.submitted = submitted_;
   stats.rejected = rejected_;
-  stats.queued = queue_.size();
-  stats.running = running_.size();
+  stats.queue_depth = queue_.size();
+  stats.active = running_.size();
   stats.finished = finished_;
-  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  stats.cache_rounded_hits =
-      cache_rounded_hits_.load(std::memory_order_relaxed);
-  stats.dedup_shared = dedup_shared_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_;
+  stats.cache_rounded_hits = cache_rounded_hits_;
+  stats.dedup_shared = dedup_shared_;
   return stats;
 }
 
@@ -408,7 +411,6 @@ std::optional<SolveResult> SchedulingService::cache_lookup(
       result.schedule = cache::from_canonical(result.schedule, state.form);
     }
     result.stats["cache_hit"] = true;
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   if (!state.rounded_enabled) return std::nullopt;
@@ -439,8 +441,6 @@ std::optional<SolveResult> SchedulingService::cache_lookup(
             : 0.0;
     result.stats["cache_hit"] = true;
     result.stats["cache_hit_rounded"] = true;
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    cache_rounded_hits_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   return std::nullopt;
@@ -597,6 +597,12 @@ void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
   std::vector<std::shared_ptr<RequestState>> shared;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (from_cache) {
+      ++cache_hits_;
+      if (stat_bool(result.stats, "cache_hit_rounded")) {
+        ++cache_rounded_hits_;
+      }
+    }
     if (state->cache_enabled) {
       const auto it = inflight_.find(state->key);
       if (it != inflight_.end() && it->second == state) inflight_.erase(it);
@@ -678,7 +684,6 @@ void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
     if (follower->deadline_fired.load(std::memory_order_relaxed)) {
       out.stats["deadline_expired"] = true;
     }
-    dedup_shared_.fetch_add(1, std::memory_order_relaxed);
     resolve(follower, std::move(out), /*emit_finished=*/true);
   }
 
@@ -688,6 +693,7 @@ void SchedulingService::run_request(std::shared_ptr<RequestState> state) {
     std::lock_guard<std::mutex> lock(mutex_);
     running_.erase(std::find(running_.begin(), running_.end(), state));
     finished_ += 1 + shared.size();
+    dedup_shared_ += shared.size();
     if (!stopping_) dispatch_locked();
   }
   idle_cv_.notify_all();

@@ -98,11 +98,17 @@ struct ServiceConfig {
   cache::CacheConfig cache;
 };
 
+/// One consistent snapshot: stats() captures every field under a single
+/// acquisition of the service lock (all counters are updated under that
+/// same lock), so exported values — e.g. the /metrics endpoint of
+/// net::SchedServer — are never torn against each other: a drained
+/// service always shows submitted == finished and queue_depth == active
+/// == 0 in the same snapshot.
 struct ServiceStats {
   std::uint64_t submitted = 0;  ///< accepted requests (excludes rejected)
   std::uint64_t rejected = 0;   ///< bounced off the max_queue_depth cap
-  std::size_t queued = 0;       ///< waiting for a slot right now
-  std::size_t running = 0;      ///< in flight right now
+  std::size_t queue_depth = 0;  ///< gauge: waiting for a slot right now
+  std::size_t active = 0;       ///< gauge: in flight right now
   std::uint64_t finished = 0;   ///< accepted requests that resolved —
                                 ///< submitted == finished once drained;
                                 ///< rejected handles resolve too but are
@@ -181,9 +187,12 @@ class SchedulingService {
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t finished_ = 0;
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_rounded_hits_{0};
-  std::atomic<std::uint64_t> dedup_shared_{0};
+  // Guarded by mutex_ (like the fields above) so stats() is one coherent
+  // cut; bumped where the owning request settles under the lock, not at
+  // the lock-free lookup sites.
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_rounded_hits_ = 0;
+  std::uint64_t dedup_shared_ = 0;
   std::atomic<std::uint64_t> next_id_{0};
 
   cache::SolveCache cache_;

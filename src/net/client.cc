@@ -1,0 +1,263 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "api/serialize.h"
+#include "net/protocol.h"
+
+namespace bagsched::net {
+
+std::pair<std::string, std::uint16_t> parse_hostport(
+    const std::string& hostport) {
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= hostport.size()) {
+    throw std::runtime_error("expected HOST:PORT, got \"" + hostport + "\"");
+  }
+  const std::string host = hostport.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(hostport.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("bad port in \"" + hostport + "\"");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+namespace {
+
+int connect_fd(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad address \"" + host + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string message = std::string("connect ") + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(message);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), framer_(std::move(other.framer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    framer_ = std::move(other.framer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  Client client;
+  client.fd_ = connect_fd(host, port);
+  return client;
+}
+
+Client Client::connect(const std::string& hostport) {
+  const auto [host, port] = parse_hostport(hostport);
+  return connect(host, port);
+}
+
+void Client::close() {
+  if (fd_ != -1) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::abort() {
+  if (fd_ == -1) return;
+  const linger hard{1, 0};  // RST on close instead of a FIN handshake
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::send_line(const std::string& line) {
+  if (fd_ == -1) throw std::runtime_error("client: not connected");
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+std::optional<util::Json> Client::read_frame() {
+  if (fd_ == -1) throw std::runtime_error("client: not connected");
+  for (;;) {
+    if (auto line = framer_.next()) {
+      if (line->empty()) continue;
+      return util::Json::parse(*line);
+    }
+    char buffer[16384];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      framer_.feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return std::nullopt;
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void Client::submit(const api::SolveRequest& request, const std::string& id,
+                    bool want_progress, bool want_schedule) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "submit");
+  frame.set("id", id);
+  frame.set("request", api::to_json(request));
+  if (want_progress) frame.set("progress", true);
+  if (!want_schedule) frame.set("schedule", false);
+  send_line(frame.dump());
+}
+
+void Client::cancel(const std::string& id) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "cancel");
+  frame.set("id", id);
+  send_line(frame.dump());
+}
+
+api::SolveResult Client::solve(const api::SolveRequest& request,
+                               const std::string& id, bool want_progress,
+                               const api::ProgressFn& on_progress,
+                               bool want_schedule) {
+  submit(request, id, want_progress, want_schedule);
+  for (;;) {
+    auto frame = read_frame();
+    if (!frame.has_value()) {
+      throw std::runtime_error(
+          "server closed the connection before the result arrived");
+    }
+    const std::string type = frame->string_or("type", "");
+    if (type == "error") {
+      const std::string code = frame->string_or("code", "");
+      const std::string message = frame->string_or("message", "");
+      if (frame->string_or("id", "") != id && code != "parse_error") {
+        continue;  // concerns another in-flight request
+      }
+      if (code == "rejected") {
+        api::SolveResult result;
+        result.status = api::SolveStatus::Cancelled;
+        result.cancelled = true;
+        result.error = message;
+        return result;
+      }
+      throw std::runtime_error(code + ": " + message);
+    }
+    if (type != "event" || frame->string_or("id", "") != id) continue;
+    const api::ProgressKind kind =
+        progress_kind_from_string(frame->at("event").as_string());
+    if (kind == api::ProgressKind::Finished) {
+      const util::Json* result = frame->find("result");
+      if (result == nullptr) {
+        throw std::runtime_error("finished event without a result");
+      }
+      return api::solve_result_from_json(*result);
+    }
+    if (on_progress) {
+      api::ProgressEvent event;
+      event.kind = kind;
+      event.solver = frame->string_or("solver", "");
+      event.phase = frame->string_or("phase", "");
+      event.incumbent_makespan = frame->number_or("incumbent_makespan", 0.0);
+      event.elapsed_seconds = frame->number_or("elapsed_seconds", 0.0);
+      on_progress(event);
+    }
+  }
+}
+
+util::Json Client::stats() {
+  util::Json frame = util::Json::object();
+  frame.set("type", "stats");
+  send_line(frame.dump());
+  for (;;) {
+    auto reply = read_frame();
+    if (!reply.has_value()) {
+      throw std::runtime_error(
+          "server closed the connection before the stats frame arrived");
+    }
+    if (reply->string_or("type", "") == "stats") return *reply;
+  }
+}
+
+std::string fetch_metrics(const std::string& host, std::uint16_t port) {
+  const int fd = connect_fd(host, port);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  }
+  std::string response;
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("malformed HTTP response");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    throw std::runtime_error("metrics scrape failed: " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace bagsched::net

@@ -1,0 +1,89 @@
+// Blocking NDJSON client for sched_server — the reference implementation
+// of the wire protocol's client side, used by `instance_tool --connect`,
+// tests/test_net.cc and bench_net_throughput.
+//
+//   auto client = net::Client::connect("127.0.0.1", port);
+//   api::SolveResult result = client.solve(request, "job-1",
+//                                          /*want_progress=*/true,
+//                                          print_progress);
+//
+// solve() submits, streams the event frames (invoking the progress
+// callback for each) and returns the finished result; a structured
+// rejection frame comes back as a Cancelled result carrying the server's
+// message, any other error frame throws std::runtime_error. The lower
+// send_line()/read_frame() layer is exposed for multiplexed use (several
+// client-assigned ids in flight on one connection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "api/progress.h"
+#include "api/request.h"
+#include "api/solver.h"
+#include "net/framing.h"
+#include "util/json.h"
+
+namespace bagsched::net {
+
+/// "host:port" → {host, port}; throws std::runtime_error on bad input.
+std::pair<std::string, std::uint16_t> parse_hostport(
+    const std::string& hostport);
+
+class Client {
+ public:
+  Client() = default;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Throws std::runtime_error when the server is unreachable.
+  static Client connect(const std::string& host, std::uint16_t port);
+  static Client connect(const std::string& hostport);
+
+  bool connected() const { return fd_ != -1; }
+  void close();
+  /// Closes abruptly without a FIN handshake (for kill-and-reconnect
+  /// tests): an RST is queued via SO_LINGER 0.
+  void abort();
+
+  /// Writes one frame (newline appended). Throws on a broken connection.
+  void send_line(const std::string& line);
+
+  /// Next frame from the server; std::nullopt on EOF. Throws on a socket
+  /// error or a frame that is not valid JSON.
+  std::optional<util::Json> read_frame();
+
+  /// Sends a submit frame for `request` under the client-assigned `id`.
+  void submit(const api::SolveRequest& request, const std::string& id,
+              bool want_progress = false, bool want_schedule = true);
+  void cancel(const std::string& id);
+
+  /// Full round trip: submit, stream until this id's terminal frame.
+  /// Progress events are surfaced through `on_progress` (request ids are
+  /// not service ids here — the event's request_id is 0). Rejection frames
+  /// return a Cancelled result; other error frames for this id throw.
+  api::SolveResult solve(const api::SolveRequest& request,
+                         const std::string& id = "1",
+                         bool want_progress = false,
+                         const api::ProgressFn& on_progress = {},
+                         bool want_schedule = true);
+
+  /// One stats round trip ({"type":"stats"} → the stats frame).
+  util::Json stats();
+
+ private:
+  int fd_ = -1;
+  LineFramer framer_;
+};
+
+/// One-shot `GET /metrics` scrape; returns the Prometheus text body.
+/// Throws std::runtime_error on connection failure or a non-200 status.
+std::string fetch_metrics(const std::string& host, std::uint16_t port);
+
+}  // namespace bagsched::net

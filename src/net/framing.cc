@@ -1,0 +1,42 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+namespace bagsched::net {
+
+void LineFramer::feed(const char* data, std::size_t size) {
+  if (overflowed_) return;
+  std::size_t start = 0;
+  while (start < size) {
+    const char* newline = static_cast<const char*>(
+        std::memchr(data + start, '\n', size - start));
+    if (newline == nullptr) {
+      partial_.append(data + start, size - start);
+      break;
+    }
+    const std::size_t end = static_cast<std::size_t>(newline - data);
+    partial_.append(data + start, end - start);
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    if (max_line_bytes_ != 0 && partial_.size() > max_line_bytes_) {
+      overflowed_ = true;
+      partial_.clear();
+      return;
+    }
+    lines_.push_back(std::move(partial_));
+    partial_.clear();
+    start = end + 1;
+  }
+  if (max_line_bytes_ != 0 && partial_.size() > max_line_bytes_) {
+    overflowed_ = true;
+    partial_.clear();
+  }
+}
+
+std::optional<std::string> LineFramer::next() {
+  if (lines_.empty()) return std::nullopt;
+  std::string line = std::move(lines_.front());
+  lines_.pop_front();
+  return line;
+}
+
+}  // namespace bagsched::net

@@ -1,0 +1,55 @@
+// Newline-delimited framing for the wire protocol.
+//
+// The protocol is NDJSON: one JSON document per line, LF-terminated (a
+// trailing CR is tolerated so CRLF clients and netcat sessions work).
+// LineFramer turns an arbitrary byte stream — frames split across reads,
+// several frames merged into one read — back into complete lines:
+//
+//   net::LineFramer framer(4 << 20);
+//   framer.feed(buffer, n);
+//   while (auto line = framer.next()) dispatch(*line);
+//   if (framer.overflowed()) close_connection();  // oversized frame
+//
+// A line longer than the configured maximum trips the sticky overflowed()
+// state: the connection-level caller is expected to report a structured
+// error and close, because the stream can no longer be resynchronized
+// safely (the tail of an oversized frame would parse as garbage frames).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace bagsched::net {
+
+class LineFramer {
+ public:
+  /// `max_line_bytes` bounds one frame (terminator excluded); 0 = unlimited.
+  explicit LineFramer(std::size_t max_line_bytes = 0)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes and splits off every complete line. No-op once
+  /// overflowed.
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& data) { feed(data.data(), data.size()); }
+
+  /// Next complete line without its terminator; std::nullopt when none is
+  /// pending. Empty lines are delivered (callers usually skip them).
+  std::optional<std::string> next();
+
+  /// Sticky: a line exceeded max_line_bytes. Complete lines extracted
+  /// before the oversized one remain retrievable via next().
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes of the current partial (unterminated) line.
+  std::size_t buffered() const { return partial_.size(); }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string partial_;
+  std::deque<std::string> lines_;
+  bool overflowed_ = false;
+};
+
+}  // namespace bagsched::net

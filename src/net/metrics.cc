@@ -1,0 +1,110 @@
+#include "net/metrics.h"
+
+#include <cstdint>
+
+namespace bagsched::net {
+
+namespace {
+
+void metric(std::string& out, const char* name, const char* type,
+            const char* help, std::uint64_t value) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_text(const api::ServiceStats& service,
+                            const cache::CacheStats& cache,
+                            const ServerCounters& server) {
+  std::string out;
+  out.reserve(4096);
+  // --- SchedulingService ---------------------------------------------------
+  metric(out, "bagsched_service_submitted_total", "counter",
+         "Requests accepted by the service queue", service.submitted);
+  metric(out, "bagsched_service_rejected_total", "counter",
+         "Requests shed at the max_queue_depth cap", service.rejected);
+  metric(out, "bagsched_service_finished_total", "counter",
+         "Accepted requests that resolved", service.finished);
+  metric(out, "bagsched_service_queue_depth", "gauge",
+         "Requests waiting for a slot right now", service.queue_depth);
+  metric(out, "bagsched_service_active", "gauge",
+         "Requests running right now", service.active);
+  metric(out, "bagsched_service_cache_hits_total", "counter",
+         "Requests served from the solve cache", service.cache_hits);
+  metric(out, "bagsched_service_cache_rounded_hits_total", "counter",
+         "Cache hits through the eps-rounded key", service.cache_rounded_hits);
+  metric(out, "bagsched_service_dedup_shared_total", "counter",
+         "Single-flight followers resolved from another request's solve",
+         service.dedup_shared);
+  // --- SolveCache ----------------------------------------------------------
+  metric(out, "bagsched_cache_hits_total", "counter", "Solve-cache lookup hits",
+         cache.hits);
+  metric(out, "bagsched_cache_misses_total", "counter",
+         "Solve-cache lookup misses", cache.misses);
+  metric(out, "bagsched_cache_insertions_total", "counter",
+         "Solve-cache insertions", cache.insertions);
+  metric(out, "bagsched_cache_evictions_total", "counter",
+         "Entries evicted to fit the byte budget", cache.evictions);
+  metric(out, "bagsched_cache_entries", "gauge", "Resident cache entries",
+         cache.entries);
+  metric(out, "bagsched_cache_bytes", "gauge",
+         "Approximate resident cache footprint in bytes", cache.bytes);
+  // --- Server --------------------------------------------------------------
+  metric(out, "bagsched_server_connections_accepted_total", "counter",
+         "Client connections accepted", server.connections_accepted);
+  metric(out, "bagsched_server_connections_active", "gauge",
+         "Client connections open right now", server.connections_active);
+  metric(out, "bagsched_server_frames_in_total", "counter",
+         "Protocol frames received", server.frames_in);
+  metric(out, "bagsched_server_frames_out_total", "counter",
+         "Protocol frames sent", server.frames_out);
+  metric(out, "bagsched_server_bytes_in_total", "counter",
+         "Bytes received from clients", server.bytes_in);
+  metric(out, "bagsched_server_bytes_out_total", "counter",
+         "Bytes sent to clients", server.bytes_out);
+  metric(out, "bagsched_server_parse_errors_total", "counter",
+         "Frames rejected by the JSON parser", server.parse_errors);
+  metric(out, "bagsched_server_oversized_frames_total", "counter",
+         "Connections closed for exceeding the frame-size cap",
+         server.oversized_frames);
+  metric(out, "bagsched_server_submits_total", "counter",
+         "Submit frames admitted to the service", server.submits);
+  metric(out, "bagsched_server_cancels_total", "counter",
+         "Cancel frames applied to an in-flight request", server.cancels);
+  metric(out, "bagsched_server_metrics_requests_total", "counter",
+         "GET /metrics scrapes served", server.metrics_requests);
+  metric(out, "bagsched_server_disconnect_cancels_total", "counter",
+         "Orphaned solves cancelled after a client disconnect",
+         server.disconnect_cancels);
+  metric(out, "bagsched_server_slow_client_disconnects_total", "counter",
+         "Clients dropped for an overfull outbound buffer",
+         server.slow_client_disconnects);
+  return out;
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                                       : "Bad Request";
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace bagsched::net

@@ -1,0 +1,25 @@
+// Prometheus text exposition for the /metrics endpoint.
+//
+// sched_server answers `GET /metrics` on its NDJSON port with the
+// text/plain 0.0.4 exposition format, covering the scheduling service's
+// counters and gauges (ServiceStats), the solve cache (CacheStats) and the
+// server's own connection/byte/frame counters — everything a scrape needs
+// to alert on load shedding, cache efficiency and slow clients.
+#pragma once
+
+#include <string>
+
+#include "net/protocol.h"
+
+namespace bagsched::net {
+
+/// The full exposition document (HELP/TYPE lines included).
+std::string prometheus_text(const api::ServiceStats& service,
+                            const cache::CacheStats& cache,
+                            const ServerCounters& server);
+
+/// Minimal HTTP/1.0 response envelope (Content-Length + close).
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body);
+
+}  // namespace bagsched::net

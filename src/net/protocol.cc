@@ -1,0 +1,129 @@
+#include "net/protocol.h"
+
+#include <stdexcept>
+
+#include "api/serialize.h"
+
+namespace bagsched::net {
+
+std::string client_id_text(const util::Json& id) {
+  if (id.is_string()) {
+    if (id.as_string().empty()) {
+      throw std::runtime_error("id must not be empty");
+    }
+    return id.as_string();
+  }
+  if (id.is_number()) {
+    // as_int rejects non-integral and out-of-range numbers loudly.
+    return std::to_string(id.as_int());
+  }
+  throw std::runtime_error("id must be a string or an integer");
+}
+
+api::ProgressKind progress_kind_from_string(const std::string& name) {
+  for (const api::ProgressKind kind :
+       {api::ProgressKind::Queued, api::ProgressKind::Started,
+        api::ProgressKind::Phase, api::ProgressKind::Incumbent,
+        api::ProgressKind::Finished}) {
+    if (name == api::to_string(kind)) return kind;
+  }
+  throw std::runtime_error("unknown progress event \"" + name + "\"");
+}
+
+std::string event_frame(const std::string& id, const api::ProgressEvent& event,
+                        bool include_schedule) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "event");
+  frame.set("id", id);
+  frame.set("event", api::to_string(event.kind));
+  if (!event.solver.empty()) frame.set("solver", event.solver);
+  if (event.kind == api::ProgressKind::Phase) frame.set("phase", event.phase);
+  if (event.kind == api::ProgressKind::Incumbent) {
+    frame.set("incumbent_makespan", event.incumbent_makespan);
+  }
+  frame.set("elapsed_seconds", event.elapsed_seconds);
+  if (event.kind == api::ProgressKind::Finished && event.result != nullptr) {
+    frame.set("result", api::to_json(*event.result, include_schedule));
+  }
+  return frame.dump();
+}
+
+std::string error_frame(const std::string& code, const std::string& message,
+                        const std::string* id) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "error");
+  if (id != nullptr) frame.set("id", *id);
+  frame.set("code", code);
+  frame.set("message", message);
+  return frame.dump();
+}
+
+std::string ok_frame(const std::string& op, const std::string& id) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "ok");
+  frame.set("op", op);
+  frame.set("id", id);
+  return frame.dump();
+}
+
+std::string pong_frame() {
+  util::Json frame = util::Json::object();
+  frame.set("type", "pong");
+  return frame.dump();
+}
+
+util::Json to_json(const api::ServiceStats& stats) {
+  util::Json json = util::Json::object();
+  json.set("submitted", stats.submitted);
+  json.set("rejected", stats.rejected);
+  json.set("queue_depth", static_cast<std::uint64_t>(stats.queue_depth));
+  json.set("active", static_cast<std::uint64_t>(stats.active));
+  json.set("finished", stats.finished);
+  json.set("cache_hits", stats.cache_hits);
+  json.set("cache_rounded_hits", stats.cache_rounded_hits);
+  json.set("dedup_shared", stats.dedup_shared);
+  return json;
+}
+
+util::Json to_json(const cache::CacheStats& stats) {
+  util::Json json = util::Json::object();
+  json.set("hits", stats.hits);
+  json.set("misses", stats.misses);
+  json.set("insertions", stats.insertions);
+  json.set("evictions", stats.evictions);
+  json.set("oversized", stats.oversized);
+  json.set("entries", static_cast<std::uint64_t>(stats.entries));
+  json.set("bytes", static_cast<std::uint64_t>(stats.bytes));
+  return json;
+}
+
+util::Json to_json(const ServerCounters& counters) {
+  util::Json json = util::Json::object();
+  json.set("connections_accepted", counters.connections_accepted);
+  json.set("connections_active", counters.connections_active);
+  json.set("frames_in", counters.frames_in);
+  json.set("frames_out", counters.frames_out);
+  json.set("bytes_in", counters.bytes_in);
+  json.set("bytes_out", counters.bytes_out);
+  json.set("parse_errors", counters.parse_errors);
+  json.set("oversized_frames", counters.oversized_frames);
+  json.set("submits", counters.submits);
+  json.set("cancels", counters.cancels);
+  json.set("metrics_requests", counters.metrics_requests);
+  json.set("disconnect_cancels", counters.disconnect_cancels);
+  json.set("slow_client_disconnects", counters.slow_client_disconnects);
+  return json;
+}
+
+std::string stats_frame(const api::ServiceStats& service,
+                        const cache::CacheStats& cache,
+                        const ServerCounters& server) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "stats");
+  frame.set("service", to_json(service));
+  frame.set("cache", to_json(cache));
+  frame.set("server", to_json(server));
+  return frame.dump();
+}
+
+}  // namespace bagsched::net

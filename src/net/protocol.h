@@ -1,0 +1,99 @@
+// Wire-protocol frame schemas for sched_server (see DESIGN.md §5).
+//
+// Every frame is one JSON object on one line. Client → server:
+//
+//   {"type":"submit","id":ID,"request":{...},"progress":B,"schedule":B}
+//   {"type":"cancel","id":ID}
+//   {"type":"stats"}
+//   {"type":"ping"}
+//
+// Server → client:
+//
+//   {"type":"event","id":ID,"event":"queued|started|phase|incumbent|
+//    finished",...}                       — streamed request lifecycle
+//   {"type":"error","code":C,"message":M[,"id":ID]}   — structured errors
+//   {"type":"stats","service":{...},"cache":{...},"server":{...}}
+//   {"type":"ok","op":"cancel","id":ID}
+//   {"type":"pong"}
+//
+// ID is client-assigned (a JSON string or integer, canonicalized to its
+// text) and scopes the request on its connection: all event frames for a
+// submit echo it back, so one connection can multiplex any number of
+// in-flight requests. The request payload and the finished event's result
+// reuse the api/serialize JSON shapes verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/progress.h"
+#include "api/service.h"
+#include "cache/solve_cache.h"
+#include "util/json.h"
+
+namespace bagsched::net {
+
+/// Error codes carried by {"type":"error"} frames.
+///   parse_error      the line was not a JSON object
+///   oversized_frame  the line exceeded the frame-size cap (connection
+///                    closes: the stream cannot be resynchronized)
+///   bad_request      well-formed JSON, malformed request
+///   unknown_solver   a requested solver name is not registered
+///   duplicate_id     the id is already in flight on this connection
+///   unknown_id       cancel for an id that is not in flight
+///   rejected         load shed: the service's max_queue_depth is full
+///   draining         the server is draining and takes no new submits
+/// Codes are plain strings on the wire so clients never break on new ones.
+
+/// Connection/byte/frame gauges exported at /metrics next to the
+/// ServiceStats and cache counters.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;  ///< gauge
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t oversized_frames = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t metrics_requests = 0;
+  /// Orphaned solves cancelled because their client disconnected.
+  std::uint64_t disconnect_cancels = 0;
+  /// Clients dropped because their outbound buffer exceeded the cap.
+  std::uint64_t slow_client_disconnects = 0;
+};
+
+/// Canonical text of a client-assigned id: a JSON string passes through,
+/// an integer becomes its decimal text. Throws std::runtime_error on any
+/// other kind (null/bool/array/object/non-integer number).
+std::string client_id_text(const util::Json& id);
+
+/// Inverse of api::to_string(api::ProgressKind); throws std::runtime_error
+/// on an unknown name.
+api::ProgressKind progress_kind_from_string(const std::string& name);
+
+// --- Frame builders (compact dump, no trailing newline) --------------------
+
+/// Event frame for one progress event. Finished events embed the full
+/// result (schedule included only when `include_schedule`).
+std::string event_frame(const std::string& id, const api::ProgressEvent& event,
+                        bool include_schedule);
+
+/// Error frame; `id` is echoed when the error concerns a specific request.
+std::string error_frame(const std::string& code, const std::string& message,
+                        const std::string* id = nullptr);
+
+std::string ok_frame(const std::string& op, const std::string& id);
+std::string pong_frame();
+
+util::Json to_json(const api::ServiceStats& stats);
+util::Json to_json(const cache::CacheStats& stats);
+util::Json to_json(const ServerCounters& counters);
+
+std::string stats_frame(const api::ServiceStats& service,
+                        const cache::CacheStats& cache,
+                        const ServerCounters& server);
+
+}  // namespace bagsched::net

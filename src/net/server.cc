@@ -1,0 +1,660 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "api/serialize.h"
+#include "net/framing.h"
+#include "net/metrics.h"
+
+namespace bagsched::net {
+
+namespace detail {
+
+/// The worker-thread → event-loop bridge for one connection. Progress
+/// callbacks append serialized frames under the mutex; the loop swaps them
+/// out in pump_sink(). `alive` goes false when the connection closes, so a
+/// callback for an orphaned solve drops its frame instead of writing into
+/// a dead connection (or a reused fd).
+struct Sink {
+  std::mutex mutex;
+  std::vector<std::string> frames;
+  std::vector<std::string> finished;  ///< client ids whose request resolved
+  bool alive = true;
+  int wake_fd = -1;
+};
+
+struct Connection {
+  explicit Connection(std::size_t max_frame_bytes)
+      : framer(max_frame_bytes) {}
+
+  int fd = -1;
+  std::shared_ptr<Sink> sink;
+  LineFramer framer;
+  std::string out;            ///< outbound bytes, [out_offset, size) unsent
+  std::size_t out_offset = 0;
+  /// Client-assigned id → handle of the in-flight request. Entries leave
+  /// when the terminal frame is pumped, or via cancellation on disconnect.
+  std::unordered_map<std::string, api::SolveHandle> inflight;
+  bool saw_frame = false;  ///< an NDJSON frame arrived (disables HTTP sniff)
+  bool http = false;       ///< HTTP mode: first line consumed, rest ignored
+  bool close_after_flush = false;
+  bool half_closed = false;  ///< SHUT_WR sent, waiting for the peer's EOF
+  bool dead = false;         ///< closed; reaped at the end of the iteration
+};
+
+}  // namespace detail
+
+using detail::Connection;
+using detail::Sink;
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool is_rejection(const api::SolveResult& result) {
+  return result.status == api::SolveStatus::Cancelled &&
+         result.error.rfind("rejected:", 0) == 0;
+}
+
+/// First whitespace-separated token after the method of an HTTP request
+/// line ("GET /metrics HTTP/1.0" → "/metrics").
+std::string http_target(const std::string& line) {
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) return "";
+  const std::size_t target_start =
+      line.find_first_not_of(' ', method_end + 1);
+  if (target_start == std::string::npos) return "";
+  return line.substr(target_start,
+                     line.find(' ', target_start) - target_start);
+}
+
+}  // namespace
+
+SchedServer::SchedServer(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+SchedServer::~SchedServer() {
+  stop();
+  wait();
+  if (listen_fd_ != -1) ::close(listen_fd_);  // start() threw / never ran
+  if (wake_read_fd_ != -1) ::close(wake_read_fd_);
+  if (wake_write_fd_ != -1) ::close(wake_write_fd_);
+}
+
+void SchedServer::start() {
+  if (loop_thread_.joinable()) {
+    throw std::logic_error("SchedServer: already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad bind address \"" + config_.bind_address +
+                             "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 256) != 0) {
+    const std::string message =
+        std::string("bind ") + config_.bind_address + ":" +
+        std::to_string(config_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_size);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int wake_fds[2];
+  if (::pipe(wake_fds) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = wake_fds[0];
+  wake_write_fd_ = wake_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void SchedServer::request_drain() {
+  drain_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void SchedServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void SchedServer::wait() {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+ServerCounters SchedServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+void SchedServer::wake() {
+  if (wake_write_fd_ == -1) return;
+  const char byte = 1;
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void SchedServer::loop() {
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> cancel_at;  ///< drain grace expiry
+  std::optional<Clock::time_point> force_close_at;
+  bool drain_cancelled = false;
+  std::vector<pollfd> pollfds;
+  std::vector<Connection*> polled;
+
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_relaxed);
+    const bool draining =
+        stopping || drain_.load(std::memory_order_relaxed);
+    if (draining && listen_fd_ != -1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (draining && !cancel_at.has_value()) {
+      const auto now = Clock::now();
+      cancel_at = now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                config_.drain_grace_seconds));
+      // Clients that never read their Finished events must not pin the
+      // drain forever; past this everything force-closes.
+      force_close_at =
+          *cancel_at + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(5.0));
+    }
+    if ((stopping || (draining && Clock::now() >= *cancel_at)) &&
+        !drain_cancelled) {
+      for (const auto& connection : connections_) {
+        for (auto& [id, handle] : connection->inflight) handle.cancel();
+      }
+      drain_cancelled = true;
+    }
+
+    for (const auto& connection : connections_) {
+      if (!connection->dead) pump_sink(*connection);
+    }
+    if (stopping) break;
+    for (const auto& connection : connections_) {
+      if (!connection->dead) flush(*connection);
+    }
+    if (draining) {
+      const bool force = Clock::now() >= *force_close_at;
+      for (const auto& connection : connections_) {
+        if (connection->dead) continue;
+        if (force) {
+          close_connection(*connection);
+          continue;
+        }
+        // Retire idle connections through the half-close path: an abrupt
+        // close would RST a client whose submit bytes are still in flight
+        // and could discard frames it has not read yet. After SHUT_WR the
+        // peer reads everything plus EOF and closes; its EOF fully closes
+        // the connection (force_close_at bounds peers that never do).
+        const bool flushed =
+            connection->out_offset >= connection->out.size();
+        if (connection->inflight.empty() && flushed &&
+            !connection->close_after_flush) {
+          connection->close_after_flush = true;
+          flush(*connection);  // out is empty: half-closes immediately
+        }
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const auto& c) { return c->dead; }),
+        connections_.end());
+    if (draining && connections_.empty()) break;
+
+    pollfds.clear();
+    polled.clear();
+    pollfds.push_back({wake_read_fd_, POLLIN, 0});
+    if (listen_fd_ != -1) pollfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& connection : connections_) {
+      short events = POLLIN;
+      if (connection->out_offset < connection->out.size()) {
+        events |= POLLOUT;
+      }
+      pollfds.push_back({connection->fd, events, 0});
+      polled.push_back(connection.get());
+    }
+    const int timeout_ms = draining ? 50 : -1;
+    const int ready = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // unrecoverable; exit loop
+    if (ready <= 0) continue;
+
+    std::size_t index = 0;
+    if (pollfds[index].revents & POLLIN) {
+      char buffer[256];
+      while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+      }
+    }
+    ++index;
+    if (listen_fd_ != -1) {
+      if (pollfds[index].revents & (POLLIN | POLLERR)) accept_ready();
+      ++index;
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      Connection& connection = *polled[i];
+      const short revents = pollfds[index + i].revents;
+      if (connection.dead || revents == 0) continue;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        read_ready(connection);
+      }
+      if (!connection.dead && (revents & POLLOUT)) flush(connection);
+    }
+  }
+
+  // Exit: cancel whatever is still attached, kill every sink so late
+  // worker-thread events are dropped, and wait for the service to go idle
+  // — after that no progress callback can fire, so the wake pipe can be
+  // closed safely by the destructor.
+  for (const auto& connection : connections_) {
+    if (!connection->dead) {
+      close_connection(*connection, /*count_orphans=*/false);
+    }
+  }
+  connections_.clear();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  service_.wait_idle();
+}
+
+void SchedServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error; poll again
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto connection =
+        std::make_unique<Connection>(config_.max_frame_bytes);
+    connection->fd = fd;
+    connection->sink = std::make_shared<Sink>();
+    connection->sink->wake_fd = wake_write_fd_;
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.connections_accepted;
+      ++counters_.connections_active;
+    }
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void SchedServer::read_ready(Connection& connection) {
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        counters_.bytes_in += static_cast<std::uint64_t>(n);
+      }
+      connection.framer.feed(buffer, static_cast<std::size_t>(n));
+      while (!connection.dead && !connection.close_after_flush) {
+        const auto line = connection.framer.next();
+        if (!line.has_value()) break;
+        if (line->empty()) continue;
+        handle_line(connection, *line);
+      }
+      if (!connection.dead && connection.framer.overflowed() &&
+          !connection.close_after_flush) {
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++counters_.oversized_frames;
+        }
+        send_frame(connection,
+                   error_frame("oversized_frame",
+                               "frame exceeds " +
+                                   std::to_string(config_.max_frame_bytes) +
+                                   " bytes; closing"));
+        connection.close_after_flush = true;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close_connection(connection);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(connection);
+    return;
+  }
+  if (!connection.dead) flush(connection);
+}
+
+void SchedServer::flush(Connection& connection) {
+  while (connection.out_offset < connection.out.size()) {
+    const ssize_t n = ::send(
+        connection.fd, connection.out.data() + connection.out_offset,
+        connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_offset += static_cast<std::size_t>(n);
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      counters_.bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(connection);
+    return;
+  }
+  if (connection.out_offset >= connection.out.size()) {
+    connection.out.clear();
+    connection.out_offset = 0;
+    if (connection.close_after_flush && !connection.half_closed) {
+      // Half-close so the peer reads everything we sent; the connection
+      // fully closes when its EOF arrives (or at drain force-close).
+      ::shutdown(connection.fd, SHUT_WR);
+      connection.half_closed = true;
+    }
+  } else if (connection.out_offset > connection.out.size() / 2) {
+    connection.out.erase(0, connection.out_offset);
+    connection.out_offset = 0;
+  }
+}
+
+void SchedServer::pump_sink(Connection& connection) {
+  std::vector<std::string> frames;
+  std::vector<std::string> finished;
+  {
+    std::lock_guard<std::mutex> lock(connection.sink->mutex);
+    frames.swap(connection.sink->frames);
+    finished.swap(connection.sink->finished);
+  }
+  for (auto& frame : frames) {
+    connection.out += frame;
+    connection.out += '\n';
+  }
+  if (!frames.empty()) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters_.frames_out += frames.size();
+  }
+  for (const auto& id : finished) connection.inflight.erase(id);
+  if (connection.out.size() - connection.out_offset >
+      config_.max_output_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.slow_client_disconnects;
+    }
+    close_connection(connection);
+  }
+}
+
+void SchedServer::close_connection(Connection& connection,
+                                   bool count_orphans) {
+  if (connection.dead) return;
+  {
+    std::lock_guard<std::mutex> lock(connection.sink->mutex);
+    connection.sink->alive = false;
+    connection.sink->wake_fd = -1;
+    connection.sink->frames.clear();
+    connection.sink->finished.clear();
+  }
+  std::size_t orphans = 0;
+  for (auto& [id, handle] : connection.inflight) {
+    handle.cancel();
+    ++orphans;
+  }
+  connection.inflight.clear();
+  ::close(connection.fd);
+  connection.fd = -1;
+  connection.dead = true;
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  if (count_orphans) counters_.disconnect_cancels += orphans;
+  --counters_.connections_active;
+}
+
+void SchedServer::send_frame(Connection& connection, std::string frame) {
+  connection.out += frame;
+  connection.out += '\n';
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  ++counters_.frames_out;
+}
+
+void SchedServer::handle_line(Connection& connection,
+                              const std::string& line) {
+  if (connection.http) return;  // ignore trailing HTTP header lines
+  if (!connection.saw_frame &&
+      (line.rfind("GET ", 0) == 0 || line.rfind("HEAD ", 0) == 0 ||
+       line.rfind("POST ", 0) == 0)) {
+    handle_http(connection, line);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.frames_in;
+  }
+  connection.saw_frame = true;
+  util::Json frame;
+  try {
+    frame = util::Json::parse(line);
+  } catch (const std::exception& error) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.parse_errors;
+    }
+    send_frame(connection, error_frame("parse_error", error.what()));
+    return;
+  }
+  if (!frame.is_object()) {
+    send_frame(connection,
+               error_frame("bad_request", "frame must be a JSON object"));
+    return;
+  }
+  const std::string type = frame.string_or("type", "");
+  if (type == "submit") {
+    handle_submit(connection, frame);
+  } else if (type == "cancel") {
+    handle_cancel(connection, frame);
+  } else if (type == "stats") {
+    send_frame(connection, stats_frame(service_.stats(),
+                                       service_.cache_stats(), counters()));
+  } else if (type == "ping") {
+    send_frame(connection, pong_frame());
+  } else {
+    send_frame(connection,
+               error_frame("bad_request",
+                           "unknown frame type \"" + type + "\""));
+  }
+}
+
+void SchedServer::handle_http(Connection& connection,
+                              const std::string& line) {
+  connection.http = true;
+  connection.close_after_flush = true;
+  const std::string target = http_target(line);
+  std::string response;
+  if (line.rfind("GET ", 0) != 0) {
+    response = http_response(400, "text/plain",
+                             "only GET is supported on this port\n");
+  } else if (target == "/metrics") {
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.metrics_requests;
+    }
+    response = http_response(
+        200, "text/plain; version=0.0.4",
+        prometheus_text(service_.stats(), service_.cache_stats(),
+                        counters()));
+  } else {
+    response = http_response(404, "text/plain",
+                             "unknown path; try /metrics\n");
+  }
+  connection.out += response;
+  flush(connection);
+}
+
+void SchedServer::handle_submit(Connection& connection,
+                                const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  if (id_value == nullptr) {
+    send_frame(connection,
+               error_frame("bad_request", "submit requires an \"id\""));
+    return;
+  }
+  std::string id;
+  try {
+    id = client_id_text(*id_value);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what()));
+    return;
+  }
+  if (connection.inflight.count(id) != 0) {
+    send_frame(connection,
+               error_frame("duplicate_id",
+                           "id \"" + id +
+                               "\" is already in flight on this connection",
+                           &id));
+    return;
+  }
+  if (draining()) {
+    send_frame(connection,
+               error_frame("draining",
+                           "server is draining and accepts no new submits",
+                           &id));
+    return;
+  }
+  const util::Json* request_value = frame.find("request");
+  if (request_value == nullptr) {
+    send_frame(connection,
+               error_frame("bad_request", "submit requires a \"request\"",
+                           &id));
+    return;
+  }
+  api::SolveRequest request;
+  try {
+    request = api::solve_request_from_json(*request_value);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what(), &id));
+    return;
+  }
+  const bool want_progress = frame.bool_or("progress", false);
+  const bool want_schedule = frame.bool_or("schedule", true);
+  // The callback runs on service worker threads (and, for Queued, on this
+  // thread inside submit). It serializes the frame outside the sink lock,
+  // drops it when the connection is gone, and wakes the poll loop.
+  std::shared_ptr<Sink> sink = connection.sink;
+  request.on_progress = [sink, id, want_progress,
+                         want_schedule](const api::ProgressEvent& event) {
+    const bool terminal = event.kind == api::ProgressKind::Finished;
+    if (!terminal && !want_progress) return;
+    std::string frame_text;
+    if (terminal && event.result != nullptr && is_rejection(*event.result)) {
+      frame_text = error_frame("rejected", event.result->error, &id);
+    } else {
+      frame_text = event_frame(id, event, want_schedule);
+    }
+    int wake_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(sink->mutex);
+      if (!sink->alive) return;
+      sink->frames.push_back(std::move(frame_text));
+      if (terminal) sink->finished.push_back(id);
+      wake_fd = sink->wake_fd;
+    }
+    if (wake_fd != -1) {
+      const char byte = 1;
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+    }
+  };
+  try {
+    api::SolveHandle handle = service_.submit(std::move(request));
+    // A backpressure rejection resolved synchronously inside submit(): its
+    // terminal frame and finished-id are already queued on the sink, and
+    // the pump after this dispatch erases the entry again.
+    connection.inflight.emplace(id, std::move(handle));
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.submits;
+  } catch (const std::invalid_argument& error) {
+    const std::string code = std::string(error.what()).find("solver") !=
+                                     std::string::npos
+                                 ? "unknown_solver"
+                                 : "bad_request";
+    send_frame(connection, error_frame(code, error.what(), &id));
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("draining", error.what(), &id));
+  }
+  pump_sink(connection);
+}
+
+void SchedServer::handle_cancel(Connection& connection,
+                                const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  std::string id;
+  try {
+    if (id_value == nullptr) {
+      throw std::runtime_error("cancel requires an \"id\"");
+    }
+    id = client_id_text(*id_value);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what()));
+    return;
+  }
+  const auto it = connection.inflight.find(id);
+  if (it == connection.inflight.end()) {
+    send_frame(connection,
+               error_frame("unknown_id",
+                           "id \"" + id + "\" is not in flight", &id));
+    return;
+  }
+  it->second.cancel();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.cancels;
+  }
+  send_frame(connection, ok_frame("cancel", id));
+}
+
+}  // namespace bagsched::net

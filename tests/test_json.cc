@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "api/api.h"
 #include "model/io.h"
@@ -192,6 +194,58 @@ TEST(JsonApiTest, TelemetryRoundTripsWithTypes) {
   // The type tags keep long long and double distinct through the trip.
   EXPECT_TRUE(std::holds_alternative<long long>(back.at("nodes")));
   EXPECT_TRUE(std::holds_alternative<double>(back.at("gap")));
+}
+
+TEST(JsonApiTest, ControlCharacterStringsStayWireSafe) {
+  // Strings carrying every byte the JSON grammar forbids raw must still
+  // produce a single parseable line — the NDJSON wire protocol frames on
+  // '\n', so an unescaped control character would corrupt the stream.
+  std::string hostile;
+  for (int c = 0; c < 0x20; ++c) hostile += static_cast<char>(c);
+  hostile += "\"backslash\\slash/\x7f";
+  api::Telemetry stats;
+  stats["hostile"] = hostile;
+  const std::string dumped = api::to_json(stats).dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  EXPECT_EQ(dumped.find('\r'), std::string::npos);
+  const api::Telemetry back =
+      api::telemetry_from_json(Json::parse(dumped));
+  EXPECT_EQ(api::stat_str(back, "hostile"), hostile);
+}
+
+TEST(JsonApiTest, NonFiniteTelemetryRoundTrips) {
+  // The writer renders bare non-finite doubles as null (JSON has no NaN);
+  // the telemetry layer's tagged encoding must survive the round trip
+  // anyway — a solver reporting inf/NaN may never yield a frame the other
+  // side cannot decode.
+  api::Telemetry stats;
+  stats["nan"] = std::nan("");
+  stats["inf"] = std::numeric_limits<double>::infinity();
+  stats["ninf"] = -std::numeric_limits<double>::infinity();
+  stats["fine"] = 2.5;
+  const api::Telemetry back =
+      api::telemetry_from_json(Json::parse(api::to_json(stats).dump()));
+  EXPECT_TRUE(std::isnan(api::stat_real(back, "nan")));
+  EXPECT_EQ(api::stat_real(back, "inf"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(api::stat_real(back, "ninf"),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(api::stat_real(back, "fine"), 2.5);
+  // Legacy frames (written before tagging) carried null; decode as NaN
+  // instead of throwing.
+  const api::Telemetry legacy = api::telemetry_from_json(
+      Json::parse("{\"old\":{\"t\":\"r\",\"v\":null}}"));
+  EXPECT_TRUE(std::isnan(api::stat_real(legacy, "old")));
+}
+
+TEST(JsonTest, NonFiniteDoublesDumpAsNull) {
+  Json doc = Json::object();
+  doc.set("bad", std::nan(""));
+  doc.set("worse", std::numeric_limits<double>::infinity());
+  const std::string dumped = doc.dump();
+  const Json back = Json::parse(dumped);
+  EXPECT_TRUE(back.at("bad").is_null());
+  EXPECT_TRUE(back.at("worse").is_null());
 }
 
 TEST(JsonApiTest, SixtyFourBitValuesRoundTripExactly) {

@@ -113,8 +113,8 @@ TEST(ServiceTest, BatchOf32ResolvesEveryHandleOverBoundedPool) {
   EXPECT_EQ(stats.submitted, 32u);
   EXPECT_EQ(stats.finished, 32u);
   EXPECT_EQ(stats.rejected, 0u);
-  EXPECT_EQ(stats.queued, 0u);
-  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active, 0u);
 }
 
 // --- Priority ordering under a saturated queue ------------------------------

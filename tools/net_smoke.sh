@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the network service: start sched_server, drive a
+# remote solve with streamed progress through `instance_tool --connect`,
+# fetch a JSON result, scrape /metrics, then SIGTERM the daemon and assert
+# a clean graceful drain (exit 0 and the "drained:" summary line).
+#
+#   tools/net_smoke.sh [build-dir]    (default: build)
+#
+# Also runs under the ASan/UBSan build in CI, so the whole wire path —
+# server loop, sink bridge, client — gets sanitizer coverage end to end.
+set -euo pipefail
+
+BUILD="${1:-build}"
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$BUILD/instance_tool" gen uniform 60 6 7 "$work/smoke.instance"
+
+"$BUILD/sched_server" --port 0 --threads 2 --max-queue 64 \
+  >"$work/server.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 100); do
+  grep -q "listening on" "$work/server.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening on" "$work/server.log"
+port="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$work/server.log")"
+echo "server up on port $port"
+
+# Remote solve with streamed progress frames.
+"$BUILD/instance_tool" solve "$work/smoke.instance" 0.4 eptas \
+  --connect "127.0.0.1:$port" --progress
+# Remote solve with a machine-readable result; validate the JSON.
+"$BUILD/instance_tool" solve "$work/smoke.instance" 0.4 greedy-bags \
+  --connect "127.0.0.1:$port" --json >"$work/result.json"
+"$BUILD/instance_tool" jsoncheck "$work/result.json"
+# Prometheus endpoint reflects both solves.
+"$BUILD/instance_tool" metrics "127.0.0.1:$port" >"$work/metrics.txt"
+grep -q "^bagsched_service_submitted_total 2$" "$work/metrics.txt"
+grep -q "^bagsched_service_finished_total 2$" "$work/metrics.txt"
+grep -q "^bagsched_server_connections_accepted" "$work/metrics.txt"
+
+# Graceful drain: SIGTERM must exit 0 with the drain summary.
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q "^drained:" "$work/server.log"
+server_pid=""
+echo "net smoke OK"
