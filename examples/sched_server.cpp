@@ -19,6 +19,7 @@
 #include <unistd.h>
 
 #include "net/server.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -27,6 +28,9 @@ int usage() {
       "usage: sched_server [--port <p>] [--bind <addr>] [--threads <n>]\n"
       "                    [--max-concurrent <n>] [--max-queue <n>]\n"
       "                    [--drain-grace <seconds>]\n"
+      "                    [--request-budget <seconds>]\n"
+      "                    [--stuck-grace <seconds>]\n"
+      "                    [--brownout-latency <seconds>]\n"
       "\n"
       "  --port            TCP port (default 0 = ephemeral, printed)\n"
       "  --bind            bind address (default 127.0.0.1)\n"
@@ -36,7 +40,20 @@ int usage() {
       "                    rejected with a structured error frame\n"
       "                    (default 0 = unbounded)\n"
       "  --drain-grace     seconds in-flight solves may keep running\n"
-      "                    after SIGTERM before cancellation (default 5)\n";
+      "                    after SIGTERM before cancellation (default 5)\n"
+      "  --request-budget  per-request wall-clock budget; past it the\n"
+      "                    request is cancelled, and a solver stuck past\n"
+      "                    the extra grace is escalated to a terminal\n"
+      "                    \"timeout\" error frame (default 0 = unlimited)\n"
+      "  --stuck-grace     grace between the budget cancel and the\n"
+      "                    stuck-solver escalation (default 2)\n"
+      "  --brownout-latency  queue-wait EWMA (seconds) above which new\n"
+      "                    submits degrade to bag-lpt answers flagged\n"
+      "                    degraded:true (default 0 = disabled)\n"
+      "\n"
+      "  GET /healthz on the serving port answers 200 ok / 503 draining.\n"
+      "  BAGSCHED_FAULTS / BAGSCHED_FAULT_SEED enable deterministic fault\n"
+      "  injection for resilience testing (see src/util/fault.h).\n";
   return 2;
 }
 
@@ -75,6 +92,12 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::stoul(args[++i]));
       } else if (args[i] == "--drain-grace" && has_value) {
         config.drain_grace_seconds = std::stod(args[++i]);
+      } else if (args[i] == "--request-budget" && has_value) {
+        config.request_budget_seconds = std::stod(args[++i]);
+      } else if (args[i] == "--stuck-grace" && has_value) {
+        config.stuck_grace_seconds = std::stod(args[++i]);
+      } else if (args[i] == "--brownout-latency" && has_value) {
+        config.brownout_queue_latency_seconds = std::stod(args[++i]);
       } else {
         std::cerr << "unknown or incomplete flag: " << args[i] << "\n";
         return usage();
@@ -88,6 +111,16 @@ int main(int argc, char** argv) {
   if (::pipe(g_signal_pipe) != 0) {
     std::cerr << "error: cannot create signal pipe\n";
     return 1;
+  }
+
+  try {
+    if (util::fault::configure_from_env()) {
+      std::cerr << "fault injection ENABLED (BAGSCHED_FAULTS, seed "
+                << util::fault::seed() << ") — not for production\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: bad BAGSCHED_FAULTS: " << error.what() << "\n";
+    return 2;
   }
 
   try {

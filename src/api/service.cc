@@ -8,6 +8,7 @@
 #include "api/registry.h"
 #include "api/serialize.h"
 #include "model/lower_bounds.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace bagsched::api {
@@ -368,6 +369,7 @@ SchedulingService::Stats SchedulingService::stats() const {
   stats.cache_hits = cache_hits_;
   stats.cache_rounded_hits = cache_rounded_hits_;
   stats.dedup_shared = dedup_shared_;
+  stats.queue_wait_ewma_seconds = queue_wait_ewma_;
   return stats;
 }
 
@@ -469,6 +471,7 @@ void SchedulingService::dispatch_locked() {
     std::shared_ptr<RequestState> state = std::move(*next);
     queue_.erase(next);
     state->queue_seconds = state->since_submit.seconds();
+    queue_wait_ewma_ = 0.8 * queue_wait_ewma_ + 0.2 * state->queue_seconds;
     running_.push_back(state);
     pool_.submit([this, state = std::move(state)]() mutable {
       run_request(std::move(state));
@@ -477,6 +480,11 @@ void SchedulingService::dispatch_locked() {
 }
 
 SolveResult SchedulingService::execute(RequestState& state) {
+  // Injected solver failure: run_request's catch turns the throw into a
+  // terminal SolveStatus::Error result, so the handle still resolves.
+  if (BAGSCHED_FAULT("service.execute")) {
+    throw std::runtime_error("injected fault: service.execute");
+  }
   const SolveRequest& request = state.request;
   SolveOptions options = request.options;
   options.cancel = &state.cancel;

@@ -119,6 +119,11 @@ struct ServiceStats {
                                          ///< through the eps-rounded key
   std::uint64_t dedup_shared = 0;  ///< single-flight followers resolved
                                    ///< from another request's solve
+  /// Exponential moving average of queue wait (seconds), updated at every
+  /// dispatch. The overload signal for net::SchedServer's brown-out mode:
+  /// it rises when requests sit in the queue and decays as dispatch
+  /// latency recovers, without a scrape-window dependency.
+  double queue_wait_ewma_seconds = 0.0;
 };
 
 class SchedulingService {
@@ -193,6 +198,7 @@ class SchedulingService {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_rounded_hits_ = 0;
   std::uint64_t dedup_shared_ = 0;
+  double queue_wait_ewma_ = 0.0;
   std::atomic<std::uint64_t> next_id_{0};
 
   cache::SolveCache cache_;

@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/hash.h"
 
 namespace bagsched::cache {
@@ -93,6 +94,10 @@ std::optional<api::SolveResult> SolveCache::lookup(const CacheKey& key) {
 }
 
 void SolveCache::insert(const CacheKey& key, api::SolveResult result) {
+  // Injected memory pressure: the insert is silently dropped, as if the
+  // entry were immediately evicted. Correctness never depends on an insert
+  // landing — lookups just miss and the solve re-runs.
+  if (BAGSCHED_FAULT("cache.insert")) return;
   const std::size_t bytes = approx_result_bytes(result);
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);

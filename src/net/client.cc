@@ -1,17 +1,23 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "api/serialize.h"
 #include "net/protocol.h"
+#include "util/fault.h"
+#include "util/prng.h"
 
 namespace bagsched::net {
 
@@ -37,29 +43,152 @@ std::pair<std::string, std::uint16_t> parse_hostport(
 
 namespace {
 
-int connect_fd(const std::string& host, std::uint16_t port) {
+/// Remaining milliseconds until `deadline`, clamped to >= 0.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+int connect_fd(const std::string& host, std::uint16_t port,
+               double timeout_seconds = 0.0) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+    throw ConnectionError(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw std::runtime_error("bad address \"" + host + "\"");
+    throw ConnectionError("bad address \"" + host + "\"");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const std::string message = std::string("connect ") + host + ":" +
-                                std::to_string(port) + ": " +
-                                std::strerror(errno);
+  const std::string where = host + ":" + std::to_string(port);
+  if (timeout_seconds > 0.0) {
+    // Poll-based bounded connect: go nonblocking for the handshake, wait
+    // for writability, read the outcome from SO_ERROR, then restore
+    // blocking mode for the send/recv paths.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      const std::string message =
+          "connect " + where + ": " + std::strerror(errno);
+      ::close(fd);
+      throw ConnectionError(message);
+    }
+    if (rc != 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_seconds));
+      for (;;) {
+        pollfd waiter{fd, POLLOUT, 0};
+        const int ready = ::poll(&waiter, 1, remaining_ms(deadline));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) {
+          ::close(fd);
+          throw TimedOut("connect " + where + ": timed out after " +
+                         std::to_string(timeout_seconds) + "s");
+        }
+        if (ready < 0) {
+          const std::string message =
+              "connect " + where + ": " + std::strerror(errno);
+          ::close(fd);
+          throw ConnectionError(message);
+        }
+        break;
+      }
+      int error = 0;
+      socklen_t error_size = sizeof(error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_size);
+      if (error != 0) {
+        ::close(fd);
+        throw ConnectionError("connect " + where + ": " +
+                              std::strerror(error));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    const std::string message =
+        "connect " + where + ": " + std::strerror(errno);
     ::close(fd);
-    throw std::runtime_error(message);
+    throw ConnectionError(message);
+  }
+  if (BAGSCHED_FAULT("net.client.connect")) {
+    ::close(fd);
+    throw ConnectionError("connect " + where + ": injected fault");
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+/// Sends the whole buffer, handling EINTR and partial writes explicitly.
+/// ::send returning -1 is never folded into the short-write path: the
+/// errno decides between retry (EINTR) and a typed ConnectionError. A
+/// zero return (no progress on a nonzero count) is treated as a broken
+/// connection rather than spinning.
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ConnectionError(std::string("send: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw ConnectionError("send: connection closed mid-write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// One-shot HTTP/1.0 GET on the NDJSON port; returns {status, body}.
+std::pair<int, std::string> http_get(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& target) {
+  const int fd = connect_fd(host, port);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  try {
+    send_all(fd, request.data(), request.size());
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  std::string response;
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("malformed HTTP response");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  // "HTTP/1.0 200 OK" — the status code is the second token.
+  const std::size_t space = status_line.find(' ');
+  int status = 0;
+  if (space != std::string::npos) {
+    try {
+      status = std::stoi(status_line.substr(space + 1));
+    } catch (const std::exception&) {
+      status = 0;
+    }
+  }
+  if (status == 0) {
+    throw std::runtime_error("malformed HTTP status line: " + status_line);
+  }
+  return {status, response.substr(header_end + 4)};
 }
 
 }  // namespace
@@ -79,9 +208,10 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-Client Client::connect(const std::string& host, std::uint16_t port) {
+Client Client::connect(const std::string& host, std::uint16_t port,
+                       double connect_timeout_seconds) {
   Client client;
-  client.fd_ = connect_fd(host, port);
+  client.fd_ = connect_fd(host, port, connect_timeout_seconds);
   return client;
 }
 
@@ -106,38 +236,61 @@ void Client::abort() {
 }
 
 void Client::send_line(const std::string& line) {
-  if (fd_ == -1) throw std::runtime_error("client: not connected");
+  if (fd_ == -1) throw ConnectionError("client: not connected");
+  if (BAGSCHED_FAULT("net.client.send")) {
+    close();  // model a peer reset surfacing as EPIPE on this write
+    throw ConnectionError("send: injected fault");
+  }
   std::string out = line;
   out += '\n';
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n =
-        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  try {
+    send_all(fd_, out.data(), out.size());
+  } catch (...) {
+    close();  // a failed write leaves the stream unusable
+    throw;
   }
 }
 
-std::optional<util::Json> Client::read_frame() {
-  if (fd_ == -1) throw std::runtime_error("client: not connected");
+std::optional<util::Json> Client::read_frame(double timeout_seconds) {
+  if (fd_ == -1) throw ConnectionError("client: not connected");
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
   for (;;) {
     if (auto line = framer_.next()) {
       if (line->empty()) continue;
       return util::Json::parse(*line);
     }
+    if (BAGSCHED_FAULT("net.client.recv")) {
+      close();
+      throw ConnectionError("recv: injected fault");
+    }
+    if (timeout_seconds > 0.0) {
+      pollfd waiter{fd_, POLLIN, 0};
+      const int ready = ::poll(&waiter, 1, remaining_ms(deadline));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) {
+        throw ConnectionError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (ready == 0) {
+        throw TimedOut("recv: no frame within " +
+                       std::to_string(timeout_seconds) + "s");
+      }
+    }
     char buffer[16384];
-    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    // Short-read injection stresses the framing reassembly path without
+    // violating the protocol: the bytes still arrive, one at a time.
+    const std::size_t cap =
+        BAGSCHED_FAULT("net.client.recv.short") ? 1 : sizeof(buffer);
+    const ssize_t n = ::recv(fd_, buffer, cap, 0);
     if (n > 0) {
       framer_.feed(buffer, static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) return std::nullopt;
     if (errno == EINTR) continue;
-    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    throw ConnectionError(std::string("recv: ") + std::strerror(errno));
   }
 }
 
@@ -162,12 +315,13 @@ void Client::cancel(const std::string& id) {
 api::SolveResult Client::solve(const api::SolveRequest& request,
                                const std::string& id, bool want_progress,
                                const api::ProgressFn& on_progress,
-                               bool want_schedule) {
+                               bool want_schedule,
+                               double read_timeout_seconds) {
   submit(request, id, want_progress, want_schedule);
   for (;;) {
-    auto frame = read_frame();
+    auto frame = read_frame(read_timeout_seconds);
     if (!frame.has_value()) {
-      throw std::runtime_error(
+      throw ConnectionError(
           "server closed the connection before the result arrived");
     }
     const std::string type = frame->string_or("type", "");
@@ -194,7 +348,11 @@ api::SolveResult Client::solve(const api::SolveRequest& request,
       if (result == nullptr) {
         throw std::runtime_error("finished event without a result");
       }
-      return api::solve_result_from_json(*result);
+      api::SolveResult out = api::solve_result_from_json(*result);
+      if (frame->bool_or("degraded", false)) {
+        out.stats["degraded"] = true;
+      }
+      return out;
     }
     if (on_progress) {
       api::ProgressEvent event;
@@ -215,49 +373,86 @@ util::Json Client::stats() {
   for (;;) {
     auto reply = read_frame();
     if (!reply.has_value()) {
-      throw std::runtime_error(
+      throw ConnectionError(
           "server closed the connection before the stats frame arrived");
     }
     if (reply->string_or("type", "") == "stats") return *reply;
   }
 }
 
+// --- RetryingClient --------------------------------------------------------
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               RetryPolicy policy)
+    : host_(std::move(host)), port_(port), policy_(policy) {}
+
+void RetryingClient::backoff(int attempt, const std::string& id) {
+  double delay = policy_.initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) delay *= policy_.backoff_multiplier;
+  if (delay > policy_.max_backoff_seconds) {
+    delay = policy_.max_backoff_seconds;
+  }
+  // Deterministic jitter: seeded from (policy seed, request id, attempt),
+  // so a replay with the same seed sleeps the same schedule.
+  util::Xoshiro256 rng(policy_.seed ^
+                       (std::hash<std::string>{}(id) +
+                        static_cast<std::uint64_t>(attempt) * 0x9e3779b9ULL));
+  const double factor =
+      rng.uniform_real(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+  delay *= factor;
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+api::SolveResult RetryingClient::solve(const api::SolveRequest& request,
+                                       const std::string& id,
+                                       bool want_progress,
+                                       const api::ProgressFn& on_progress,
+                                       bool want_schedule) {
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    bool submitted = false;
+    try {
+      if (!client_.connected()) {
+        client_ = Client::connect(host_, port_,
+                                  policy_.connect_timeout_seconds);
+        if (attempt > 1) ++stats_.reconnects;
+      }
+      if (attempt > 1) ++stats_.resubmits;
+      submitted = true;  // submit is the first thing solve() does
+      api::SolveResult result =
+          client_.solve(request, id, want_progress, on_progress,
+                        want_schedule, policy_.read_timeout_seconds);
+      if (attempt > 1) ++stats_.recovered;
+      return result;
+    } catch (const TimedOut&) {
+      ++stats_.timeouts;
+      client_.close();  // mid-frame state is unknown; start clean
+      if (attempt >= policy_.max_attempts) throw;
+      if (submitted && !policy_.resubmit) throw;
+    } catch (const ConnectionError&) {
+      client_.close();
+      if (attempt >= policy_.max_attempts) throw;
+      if (submitted && !policy_.resubmit) throw;
+    }
+    if (attempt == 1) --stats_.resubmits;  // never counted a first submit
+    backoff(attempt, id);
+  }
+}
+
 std::string fetch_metrics(const std::string& host, std::uint16_t port) {
-  const int fd = connect_fd(host, port);
-  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent,
-                             request.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    ::close(fd);
-    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  const auto [status, body] = http_get(host, port, "/metrics");
+  if (status != 200) {
+    throw std::runtime_error("metrics scrape failed: HTTP " +
+                             std::to_string(status));
   }
-  std::string response;
-  char buffer[16384];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n > 0) {
-      response.append(buffer, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    break;
-  }
-  ::close(fd);
-  const std::size_t header_end = response.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    throw std::runtime_error("malformed HTTP response");
-  }
-  const std::string status_line = response.substr(0, response.find("\r\n"));
-  if (status_line.find(" 200 ") == std::string::npos) {
-    throw std::runtime_error("metrics scrape failed: " + status_line);
-  }
-  return response.substr(header_end + 4);
+  return body;
+}
+
+std::pair<int, std::string> fetch_healthz(const std::string& host,
+                                          std::uint16_t port) {
+  return http_get(host, port, "/healthz");
 }
 
 }  // namespace bagsched::net

@@ -13,10 +13,21 @@
 // message, any other error frame throws std::runtime_error. The lower
 // send_line()/read_frame() layer is exposed for multiplexed use (several
 // client-assigned ids in flight on one connection).
+//
+// Failure reporting is typed: transport problems (unreachable server,
+// socket errors, EOF before the result) throw ConnectionError and
+// expired connect/read budgets throw TimedOut — both subclasses of
+// std::runtime_error, so legacy catch sites keep working. RetryingClient
+// layers a RetryPolicy on top: poll-based connect/read timeouts,
+// exponential backoff with deterministic jitter, capped attempts, and
+// at-most-once resubmission of idempotent requests under the same
+// client-assigned id (the server's fingerprint cache and single-flight
+// dedup make a resubmitted solve hit instead of re-running).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -32,6 +43,18 @@ namespace bagsched::net {
 std::pair<std::string, std::uint16_t> parse_hostport(
     const std::string& hostport);
 
+/// Transport-level failure: connect refused, socket error, or the server
+/// closed the connection before the awaited frame arrived. Retryable.
+struct ConnectionError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A connect or read budget expired (RetryPolicy timeouts). Distinct from
+/// ConnectionError so callers can tell "server gone" from "server slow".
+struct TimedOut : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class Client {
  public:
   Client() = default;
@@ -42,8 +65,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Throws std::runtime_error when the server is unreachable.
-  static Client connect(const std::string& host, std::uint16_t port);
+  /// Throws ConnectionError when the server is unreachable. A nonzero
+  /// `connect_timeout_seconds` bounds the connect via poll() and throws
+  /// TimedOut on expiry (0 = block indefinitely).
+  static Client connect(const std::string& host, std::uint16_t port,
+                        double connect_timeout_seconds = 0.0);
   static Client connect(const std::string& hostport);
 
   bool connected() const { return fd_ != -1; }
@@ -52,12 +78,16 @@ class Client {
   /// tests): an RST is queued via SO_LINGER 0.
   void abort();
 
-  /// Writes one frame (newline appended). Throws on a broken connection.
+  /// Writes one frame (newline appended). Throws ConnectionError on a
+  /// broken connection (partial writes and EINTR are handled internally).
   void send_line(const std::string& line);
 
-  /// Next frame from the server; std::nullopt on EOF. Throws on a socket
-  /// error or a frame that is not valid JSON.
-  std::optional<util::Json> read_frame();
+  /// Next frame from the server; std::nullopt on EOF. Throws
+  /// ConnectionError on a socket error, std::runtime_error on a frame
+  /// that is not valid JSON, and TimedOut when a nonzero
+  /// `timeout_seconds` elapses with no complete frame (the connection is
+  /// then in an unknown mid-frame state; callers should close it).
+  std::optional<util::Json> read_frame(double timeout_seconds = 0.0);
 
   /// Sends a submit frame for `request` under the client-assigned `id`.
   void submit(const api::SolveRequest& request, const std::string& id,
@@ -68,11 +98,13 @@ class Client {
   /// Progress events are surfaced through `on_progress` (request ids are
   /// not service ids here — the event's request_id is 0). Rejection frames
   /// return a Cancelled result; other error frames for this id throw.
+  /// A nonzero `read_timeout_seconds` bounds every read (TimedOut).
   api::SolveResult solve(const api::SolveRequest& request,
                          const std::string& id = "1",
                          bool want_progress = false,
                          const api::ProgressFn& on_progress = {},
-                         bool want_schedule = true);
+                         bool want_schedule = true,
+                         double read_timeout_seconds = 0.0);
 
   /// One stats round trip ({"type":"stats"} → the stats frame).
   util::Json stats();
@@ -82,8 +114,76 @@ class Client {
   LineFramer framer_;
 };
 
+/// Retry behaviour of RetryingClient. Attempts are total tries (1 = no
+/// retry); backoff between attempts grows exponentially and is jittered
+/// deterministically from `seed` and the request id.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double connect_timeout_seconds = 5.0;
+  /// Per-read budget while awaiting frames; 0 = unbounded.
+  double read_timeout_seconds = 0.0;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Backoff is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eedULL;
+  /// Resubmit after a failure that may have reached the server. Solve
+  /// requests are idempotent — a resubmission under the same id lands in
+  /// the server's fingerprint cache / single-flight dedup, so the solve
+  /// itself runs at most once. Set false for at-most-once *delivery*:
+  /// a failure after the submit was sent then propagates instead.
+  bool resubmit = true;
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;    ///< solve attempts, first tries included
+  std::uint64_t reconnects = 0;  ///< connections re-established
+  std::uint64_t resubmits = 0;   ///< submits re-sent after a failure
+  std::uint64_t timeouts = 0;    ///< TimedOut errors absorbed
+  std::uint64_t recovered = 0;   ///< solves that succeeded after >=1 retry
+};
+
+/// A Client wrapper that survives flaky transport: connect and reads are
+/// bounded by the policy's timeouts, and transport failures (ConnectionError
+/// / TimedOut / EOF) trigger reconnect + resubmission with capped,
+/// jittered exponential backoff. Protocol-level error frames are NOT
+/// retried — they are answers, not failures. Not thread-safe (one
+/// connection, like Client).
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, std::uint16_t port,
+                 RetryPolicy policy = {});
+
+  /// Like Client::solve, but retried under the policy. Throws the last
+  /// transport error once max_attempts is exhausted.
+  api::SolveResult solve(const api::SolveRequest& request,
+                         const std::string& id = "1",
+                         bool want_progress = false,
+                         const api::ProgressFn& on_progress = {},
+                         bool want_schedule = true);
+
+  const RetryStats& stats() const { return stats_; }
+  bool connected() const { return client_.connected(); }
+  void close() { client_.close(); }
+
+ private:
+  void backoff(int attempt, const std::string& id);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  RetryPolicy policy_;
+  Client client_;
+  RetryStats stats_;
+};
+
 /// One-shot `GET /metrics` scrape; returns the Prometheus text body.
 /// Throws std::runtime_error on connection failure or a non-200 status.
 std::string fetch_metrics(const std::string& host, std::uint16_t port);
+
+/// One-shot `GET /healthz` probe; returns {status_code, body}. 200 means
+/// live and ready, 503 means draining. Throws on connection failure.
+std::pair<int, std::string> fetch_healthz(const std::string& host,
+                                          std::uint16_t port);
 
 }  // namespace bagsched::net

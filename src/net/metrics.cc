@@ -6,8 +6,8 @@ namespace bagsched::net {
 
 namespace {
 
-void metric(std::string& out, const char* name, const char* type,
-            const char* help, std::uint64_t value) {
+void metric_header(std::string& out, const char* name, const char* type,
+                   const char* help) {
   out += "# HELP ";
   out += name;
   out += ' ';
@@ -19,6 +19,18 @@ void metric(std::string& out, const char* name, const char* type,
   out += '\n';
   out += name;
   out += ' ';
+}
+
+void metric(std::string& out, const char* name, const char* type,
+            const char* help, std::uint64_t value) {
+  metric_header(out, name, type, help);
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void metric(std::string& out, const char* name, const char* type,
+            const char* help, double value) {
+  metric_header(out, name, type, help);
   out += std::to_string(value);
   out += '\n';
 }
@@ -48,6 +60,9 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_service_dedup_shared_total", "counter",
          "Single-flight followers resolved from another request's solve",
          service.dedup_shared);
+  metric(out, "bagsched_service_queue_wait_ewma_seconds", "gauge",
+         "EWMA of request queue wait in seconds (brown-out signal)",
+         service.queue_wait_ewma_seconds);
   // --- SolveCache ----------------------------------------------------------
   metric(out, "bagsched_cache_hits_total", "counter", "Solve-cache lookup hits",
          cache.hits);
@@ -91,6 +106,14 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_server_slow_client_disconnects_total", "counter",
          "Clients dropped for an overfull outbound buffer",
          server.slow_client_disconnects);
+  metric(out, "bagsched_server_healthz_requests_total", "counter",
+         "GET /healthz probes served", server.healthz_requests);
+  metric(out, "bagsched_server_brownouts_total", "counter",
+         "Submits degraded to the brown-out solver under queue pressure",
+         server.brownouts);
+  metric(out, "bagsched_server_request_timeouts_total", "counter",
+         "Requests escalated to a timeout error by the budget watchdog",
+         server.request_timeouts);
   return out;
 }
 
@@ -98,6 +121,7 @@ std::string http_response(int status, const std::string& content_type,
                           const std::string& body) {
   const char* reason = status == 200   ? "OK"
                        : status == 404 ? "Not Found"
+                       : status == 503 ? "Service Unavailable"
                                        : "Bad Request";
   std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
                     "\r\nContent-Type: " + content_type +

@@ -31,7 +31,7 @@ api::ProgressKind progress_kind_from_string(const std::string& name) {
 }
 
 std::string event_frame(const std::string& id, const api::ProgressEvent& event,
-                        bool include_schedule) {
+                        bool include_schedule, bool degraded) {
   util::Json frame = util::Json::object();
   frame.set("type", "event");
   frame.set("id", id);
@@ -42,6 +42,7 @@ std::string event_frame(const std::string& id, const api::ProgressEvent& event,
     frame.set("incumbent_makespan", event.incumbent_makespan);
   }
   frame.set("elapsed_seconds", event.elapsed_seconds);
+  if (degraded) frame.set("degraded", true);
   if (event.kind == api::ProgressKind::Finished && event.result != nullptr) {
     frame.set("result", api::to_json(*event.result, include_schedule));
   }
@@ -82,6 +83,7 @@ util::Json to_json(const api::ServiceStats& stats) {
   json.set("cache_hits", stats.cache_hits);
   json.set("cache_rounded_hits", stats.cache_rounded_hits);
   json.set("dedup_shared", stats.dedup_shared);
+  json.set("queue_wait_ewma_seconds", stats.queue_wait_ewma_seconds);
   return json;
 }
 
@@ -110,8 +112,11 @@ util::Json to_json(const ServerCounters& counters) {
   json.set("submits", counters.submits);
   json.set("cancels", counters.cancels);
   json.set("metrics_requests", counters.metrics_requests);
+  json.set("healthz_requests", counters.healthz_requests);
   json.set("disconnect_cancels", counters.disconnect_cancels);
   json.set("slow_client_disconnects", counters.slow_client_disconnects);
+  json.set("brownouts", counters.brownouts);
+  json.set("request_timeouts", counters.request_timeouts);
   return json;
 }
 

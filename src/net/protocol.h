@@ -43,7 +43,14 @@ namespace bagsched::net {
 ///   unknown_id       cancel for an id that is not in flight
 ///   rejected         load shed: the service's max_queue_depth is full
 ///   draining         the server is draining and takes no new submits
+///   timeout          the per-request wall-clock budget expired and the
+///                    stuck-solver watchdog escalated: this error IS the
+///                    request's terminal frame (any late result is dropped)
 /// Codes are plain strings on the wire so clients never break on new ones.
+///
+/// Event frames carry "degraded":true when the server's overload brown-out
+/// rewrote the request to a cheap heuristic solver — the answer is valid
+/// but weaker than what was asked for.
 
 /// Connection/byte/frame gauges exported at /metrics next to the
 /// ServiceStats and cache counters.
@@ -59,10 +66,16 @@ struct ServerCounters {
   std::uint64_t submits = 0;
   std::uint64_t cancels = 0;
   std::uint64_t metrics_requests = 0;
+  std::uint64_t healthz_requests = 0;
   /// Orphaned solves cancelled because their client disconnected.
   std::uint64_t disconnect_cancels = 0;
   /// Clients dropped because their outbound buffer exceeded the cap.
   std::uint64_t slow_client_disconnects = 0;
+  /// Submits degraded to the brown-out solver under queue-latency pressure.
+  std::uint64_t brownouts = 0;
+  /// Requests escalated to a "timeout" error by the per-request budget's
+  /// stuck-solver watchdog.
+  std::uint64_t request_timeouts = 0;
 };
 
 /// Canonical text of a client-assigned id: a JSON string passes through,
@@ -77,9 +90,10 @@ api::ProgressKind progress_kind_from_string(const std::string& name);
 // --- Frame builders (compact dump, no trailing newline) --------------------
 
 /// Event frame for one progress event. Finished events embed the full
-/// result (schedule included only when `include_schedule`).
+/// result (schedule included only when `include_schedule`); `degraded`
+/// marks answers produced under overload brown-out.
 std::string event_frame(const std::string& id, const api::ProgressEvent& event,
-                        bool include_schedule);
+                        bool include_schedule, bool degraded = false);
 
 /// Error frame; `id` is echoed when the error concerns a specific request.
 std::string error_frame(const std::string& code, const std::string& message,

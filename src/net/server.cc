@@ -15,11 +15,13 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "api/serialize.h"
 #include "net/framing.h"
 #include "net/metrics.h"
+#include "util/fault.h"
 
 namespace bagsched::net {
 
@@ -34,8 +36,20 @@ struct Sink {
   std::mutex mutex;
   std::vector<std::string> frames;
   std::vector<std::string> finished;  ///< client ids whose request resolved
+  /// Ids escalated to a "timeout" error by the budget watchdog: their
+  /// terminal frame was already sent, so any late frames from the solve
+  /// are dropped (the id leaves the set when its Finished event arrives).
+  std::unordered_set<std::string> suppressed;
   bool alive = true;
   int wake_fd = -1;
+};
+
+/// One in-flight request on a connection: the service handle plus, when a
+/// request budget is configured, the instant past which a still-unresolved
+/// solve is escalated to a terminal "timeout" error.
+struct Inflight {
+  api::SolveHandle handle;
+  std::optional<std::chrono::steady_clock::time_point> escalate_at;
 };
 
 struct Connection {
@@ -47,9 +61,10 @@ struct Connection {
   LineFramer framer;
   std::string out;            ///< outbound bytes, [out_offset, size) unsent
   std::size_t out_offset = 0;
-  /// Client-assigned id → handle of the in-flight request. Entries leave
-  /// when the terminal frame is pumped, or via cancellation on disconnect.
-  std::unordered_map<std::string, api::SolveHandle> inflight;
+  /// Client-assigned id → the in-flight request. Entries leave when the
+  /// terminal frame is pumped, via cancellation on disconnect, or via
+  /// stuck-solver escalation.
+  std::unordered_map<std::string, Inflight> inflight;
   bool saw_frame = false;  ///< an NDJSON frame arrived (disables HTTP sniff)
   bool http = false;       ///< HTTP mode: first line consumed, rest ignored
   bool close_after_flush = false;
@@ -60,6 +75,7 @@ struct Connection {
 }  // namespace detail
 
 using detail::Connection;
+using detail::Inflight;
 using detail::Sink;
 
 namespace {
@@ -207,7 +223,7 @@ void SchedServer::loop() {
     if ((stopping || (draining && Clock::now() >= *cancel_at)) &&
         !drain_cancelled) {
       for (const auto& connection : connections_) {
-        for (auto& [id, handle] : connection->inflight) handle.cancel();
+        for (auto& [id, entry] : connection->inflight) entry.handle.cancel();
       }
       drain_cancelled = true;
     }
@@ -215,6 +231,7 @@ void SchedServer::loop() {
     for (const auto& connection : connections_) {
       if (!connection->dead) pump_sink(*connection);
     }
+    if (config_.request_budget_seconds > 0.0) escalate_stuck();
     if (stopping) break;
     for (const auto& connection : connections_) {
       if (!connection->dead) flush(*connection);
@@ -232,9 +249,14 @@ void SchedServer::loop() {
         // and could discard frames it has not read yet. After SHUT_WR the
         // peer reads everything plus EOF and closes; its EOF fully closes
         // the connection (force_close_at bounds peers that never do).
+        // Connections that have not spoken yet are spared: they may be
+        // health probes whose `GET /healthz` is still in flight, and the
+        // half-close would discard the request before the 503 could answer
+        // it. force_close_at bounds them too.
         const bool flushed =
             connection->out_offset >= connection->out.size();
-        if (connection->inflight.empty() && flushed &&
+        if ((connection->saw_frame || connection->http) &&
+            connection->inflight.empty() && flushed &&
             !connection->close_after_flush) {
           connection->close_after_flush = true;
           flush(*connection);  // out is empty: half-closes immediately
@@ -259,7 +281,17 @@ void SchedServer::loop() {
       pollfds.push_back({connection->fd, events, 0});
       polled.push_back(connection.get());
     }
-    const int timeout_ms = draining ? 50 : -1;
+    int timeout_ms = draining ? 50 : -1;
+    if (timeout_ms < 0 && config_.request_budget_seconds > 0.0) {
+      // Budget escalation needs a heartbeat even when no socket stirs:
+      // a stuck solver produces no events to wake the loop with.
+      for (const auto& connection : connections_) {
+        if (!connection->dead && !connection->inflight.empty()) {
+          timeout_ms = 50;
+          break;
+        }
+      }
+    }
     const int ready = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) break;  // unrecoverable; exit loop
     if (ready <= 0) continue;
@@ -303,12 +335,69 @@ void SchedServer::loop() {
   service_.wait_idle();
 }
 
+/// Budget watchdog (loop thread): a request still unresolved past its
+/// escalation instant gets a terminal "timeout" error frame; the solve is
+/// cancelled and its late result suppressed at the sink, so the client
+/// sees exactly one terminal frame per request.
+void SchedServer::escalate_stuck() {
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& connection : connections_) {
+    if (connection->dead) continue;
+    for (auto it = connection->inflight.begin();
+         it != connection->inflight.end();) {
+      if (!it->second.escalate_at.has_value() ||
+          now < *it->second.escalate_at) {
+        ++it;
+        continue;
+      }
+      const std::string& id = it->first;
+      // The terminal frame may already be queued on the sink (pushed after
+      // this iteration's pump): then the request DID resolve and the pump
+      // will retire the entry — escalating too would send two terminal
+      // frames. The check and the suppression insert share the sink mutex
+      // with the callback's push, so there is no window between them.
+      bool already_finished = false;
+      {
+        std::lock_guard<std::mutex> lock(connection->sink->mutex);
+        already_finished =
+            std::find(connection->sink->finished.begin(),
+                      connection->sink->finished.end(),
+                      id) != connection->sink->finished.end();
+        if (!already_finished) connection->sink->suppressed.insert(id);
+      }
+      if (already_finished) {
+        ++it;
+        continue;
+      }
+      it->second.handle.cancel();
+      send_frame(*connection,
+                 error_frame("timeout",
+                             "request exceeded its " +
+                                 std::to_string(
+                                     config_.request_budget_seconds) +
+                                 "s budget",
+                             &id));
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.request_timeouts;
+      }
+      it = connection->inflight.erase(it);
+    }
+  }
+}
+
 void SchedServer::accept_ready() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or a transient accept error; poll again
+    }
+    // Injected accept failure: the connection is dropped before setup, as
+    // if the kernel ran out of descriptors mid-accept.
+    if (BAGSCHED_FAULT("net.server.accept")) {
+      ::close(fd);
+      continue;
     }
     if (connections_.size() >= config_.max_connections) {
       ::close(fd);
@@ -332,9 +421,19 @@ void SchedServer::accept_ready() {
 }
 
 void SchedServer::read_ready(Connection& connection) {
+  // Injected read error: the connection drops as if recv returned
+  // ECONNRESET; in-flight solves are cancelled via close_connection.
+  if (BAGSCHED_FAULT("net.server.read")) {
+    close_connection(connection);
+    return;
+  }
   char buffer[16384];
   for (;;) {
-    const ssize_t n = ::recv(connection.fd, buffer, sizeof(buffer), 0);
+    // Injected short read: bytes trickle in one at a time, stressing the
+    // framing reassembly without violating the protocol.
+    const std::size_t cap =
+        BAGSCHED_FAULT("net.server.read.short") ? 1 : sizeof(buffer);
+    const ssize_t n = ::recv(connection.fd, buffer, cap, 0);
     if (n > 0) {
       {
         std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -375,10 +474,22 @@ void SchedServer::read_ready(Connection& connection) {
 }
 
 void SchedServer::flush(Connection& connection) {
+  // Injected write error: the peer is treated as gone (EPIPE).
+  if (connection.out_offset < connection.out.size() &&
+      BAGSCHED_FAULT("net.server.write")) {
+    close_connection(connection);
+    return;
+  }
   while (connection.out_offset < connection.out.size()) {
+    // Injected short write: one byte leaves per send, forcing the partial-
+    // write resume path that out_offset exists for.
+    const std::size_t cap = BAGSCHED_FAULT("net.server.write.short")
+                                ? 1
+                                : connection.out.size() -
+                                      connection.out_offset;
     const ssize_t n = ::send(
         connection.fd, connection.out.data() + connection.out_offset,
-        connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+        cap, MSG_NOSIGNAL);
     if (n > 0) {
       connection.out_offset += static_cast<std::size_t>(n);
       std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -443,8 +554,8 @@ void SchedServer::close_connection(Connection& connection,
     connection.sink->finished.clear();
   }
   std::size_t orphans = 0;
-  for (auto& [id, handle] : connection.inflight) {
-    handle.cancel();
+  for (auto& [id, entry] : connection.inflight) {
+    entry.handle.cancel();
     ++orphans;
   }
   connection.inflight.clear();
@@ -528,9 +639,20 @@ void SchedServer::handle_http(Connection& connection,
         200, "text/plain; version=0.0.4",
         prometheus_text(service_.stats(), service_.cache_stats(),
                         counters()));
+  } else if (target == "/healthz") {
+    // Liveness + readiness on the serving port itself: a response at all
+    // means the event loop is alive; 200 means submits are accepted, 503
+    // that the server is draining and a balancer should stop routing here.
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.healthz_requests;
+    }
+    response = draining()
+                   ? http_response(503, "text/plain", "draining\n")
+                   : http_response(200, "text/plain", "ok\n");
   } else {
     response = http_response(404, "text/plain",
-                             "unknown path; try /metrics\n");
+                             "unknown path; try /metrics or /healthz\n");
   }
   connection.out += response;
   flush(connection);
@@ -582,24 +704,66 @@ void SchedServer::handle_submit(Connection& connection,
   }
   const bool want_progress = frame.bool_or("progress", false);
   const bool want_schedule = frame.bool_or("schedule", true);
+
+  // Overload brown-out: with the queue-wait EWMA past the threshold, a
+  // full solve would only deepen the backlog. Degrade to the cheap bag-LPT
+  // heuristic — an answer now beats a better answer after the queue melts
+  // — and flag every frame of this request "degraded" on the wire.
+  bool degraded = false;
+  if (config_.brownout_queue_latency_seconds > 0.0 &&
+      service_.stats().queue_wait_ewma_seconds >
+          config_.brownout_queue_latency_seconds) {
+    request.solvers = {"bag-lpt"};
+    degraded = true;
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.brownouts;
+  }
+
+  // Per-request budget: clamp the deadline so the service watchdog cancels
+  // cooperatively at the budget; escalate_stuck() handles solvers that
+  // ignore the cancel past the extra grace.
+  std::optional<std::chrono::steady_clock::time_point> escalate_at;
+  if (config_.request_budget_seconds > 0.0) {
+    const auto budget_deadline =
+        api::deadline_in(config_.request_budget_seconds);
+    if (!request.deadline.has_value() ||
+        *request.deadline > budget_deadline) {
+      request.deadline = budget_deadline;
+    }
+    escalate_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.request_budget_seconds +
+                                          config_.stuck_grace_seconds));
+  }
+
   // The callback runs on service worker threads (and, for Queued, on this
   // thread inside submit). It serializes the frame outside the sink lock,
-  // drops it when the connection is gone, and wakes the poll loop.
+  // drops it when the connection is gone or the id was escalated to a
+  // timeout, and wakes the poll loop.
   std::shared_ptr<Sink> sink = connection.sink;
-  request.on_progress = [sink, id, want_progress,
-                         want_schedule](const api::ProgressEvent& event) {
+  request.on_progress = [sink, id, want_progress, want_schedule,
+                         degraded](const api::ProgressEvent& event) {
     const bool terminal = event.kind == api::ProgressKind::Finished;
     if (!terminal && !want_progress) return;
     std::string frame_text;
     if (terminal && event.result != nullptr && is_rejection(*event.result)) {
       frame_text = error_frame("rejected", event.result->error, &id);
     } else {
-      frame_text = event_frame(id, event, want_schedule);
+      frame_text = event_frame(id, event, want_schedule, degraded);
     }
     int wake_fd = -1;
     {
       std::lock_guard<std::mutex> lock(sink->mutex);
       if (!sink->alive) return;
+      const auto suppressed = sink->suppressed.find(id);
+      if (suppressed != sink->suppressed.end()) {
+        // Escalated: the "timeout" error was this request's terminal
+        // frame. Late events are dropped; the Finished one retires the
+        // suppression so the id can be reused.
+        if (terminal) sink->suppressed.erase(suppressed);
+        return;
+      }
       sink->frames.push_back(std::move(frame_text));
       if (terminal) sink->finished.push_back(id);
       wake_fd = sink->wake_fd;
@@ -614,7 +778,7 @@ void SchedServer::handle_submit(Connection& connection,
     // A backpressure rejection resolved synchronously inside submit(): its
     // terminal frame and finished-id are already queued on the sink, and
     // the pump after this dispatch erases the entry again.
-    connection.inflight.emplace(id, std::move(handle));
+    connection.inflight.emplace(id, Inflight{std::move(handle), escalate_at});
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.submits;
   } catch (const std::invalid_argument& error) {
@@ -649,7 +813,7 @@ void SchedServer::handle_cancel(Connection& connection,
                            "id \"" + id + "\" is not in flight", &id));
     return;
   }
-  it->second.cancel();
+  it->second.handle.cancel();
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.cancels;

@@ -60,6 +60,19 @@ struct ServerConfig {
   /// Drain: how long in-flight solves may keep running before they are
   /// cancelled so the server can exit.
   double drain_grace_seconds = 5.0;
+  /// Per-request wall-clock budget (0 = unlimited). Enforced twice: the
+  /// submit's deadline is clamped to it (cooperative cancellation through
+  /// the service watchdog), and a solver still unresolved
+  /// stuck_grace_seconds past the budget is escalated — the request gets a
+  /// terminal "timeout" error frame and its late result is suppressed.
+  double request_budget_seconds = 0.0;
+  /// Grace between the budget's cooperative cancel and the stuck-solver
+  /// escalation above.
+  double stuck_grace_seconds = 2.0;
+  /// Overload brown-out (0 = disabled): when the service's queue-wait EWMA
+  /// exceeds this, new submits are degraded to the cheap `bag-lpt` solver
+  /// and their frames are flagged "degraded":true on the wire.
+  double brownout_queue_latency_seconds = 0.0;
 };
 
 namespace detail {
@@ -102,6 +115,7 @@ class SchedServer {
 
  private:
   void loop();
+  void escalate_stuck();
   void accept_ready();
   void read_ready(detail::Connection& connection);
   void flush(detail::Connection& connection);

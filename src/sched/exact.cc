@@ -1,13 +1,16 @@
 #include "sched/exact.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "model/lower_bounds.h"
 #include "sched/greedy_bags.h"
 #include "sched/local_search.h"
 #include "util/bitset64.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace bagsched::sched {
@@ -76,6 +79,14 @@ class Solver {
       return;
     }
     if ((nodes_ & check_mask_) == 0) {
+      // Injected stall at the cancellation-poll cadence: models a solver
+      // that slows to a crawl, so budget/watchdog escalation is exercised
+      // without a hang. The sleep sits before the token check, so a stop
+      // requested mid-stall is not noticed for up to a full period —
+      // exactly the unresponsiveness the stuck-solver watchdog exists for.
+      if (BAGSCHED_FAULT("solver.stall.exact")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
       if (timer_.seconds() > options_.time_limit_seconds) {
         aborted_ = true;
         return;

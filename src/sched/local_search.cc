@@ -1,10 +1,13 @@
 #include "sched/local_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "sched/greedy_bags.h"
+#include "util/fault.h"
 #include "util/prng.h"
 
 namespace bagsched::sched {
@@ -128,6 +131,12 @@ LocalSearchResult improve(const Instance& instance, Schedule& schedule,
     if (util::stop_requested(options.cancel)) {
       out.cancelled = true;
       break;
+    }
+    // Injected stall on the descent loop (see solver.stall.exact): the
+    // sleep lands after this iteration's token check, delaying the next
+    // poll by a full period.
+    if (BAGSCHED_FAULT("solver.stall.local_search")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
     improved = false;
     Score current = score_of(loads);

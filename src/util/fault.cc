@@ -1,0 +1,230 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace bagsched::util::fault {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+enum Mode {
+  kOff = 0,
+  kProbability,  ///< each call fires with probability `probability`
+  kNth,          ///< fires exactly on call number `nth`
+  kEvery,        ///< fires on every `nth`-th call
+};
+
+struct Rule {
+  std::string glob;
+  Mode mode = kOff;
+  double probability = 0.0;
+  std::uint64_t nth = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<FaultPoint*> points;  ///< immortal, registration-ordered
+  std::vector<Rule> rules;
+  std::uint64_t seed = 0;
+  /// Bumped by configure()/disable(); points lazily re-resolve their rule
+  /// when their cached generation falls behind.
+  std::uint64_t generation = 1;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // immortal: points outlive main
+  return *instance;
+}
+
+/// Glob match with '*' wildcards (no character classes; names are dotted
+/// identifiers).
+bool glob_match(const char* pattern, const char* text) {
+  for (; *pattern != '*'; ++pattern, ++text) {
+    if (*pattern == '\0') return *text == '\0';
+    if (*pattern != *text || *text == '\0') return false;
+  }
+  while (*(pattern + 1) == '*') ++pattern;  // collapse runs of '*'
+  for (;; ++text) {
+    if (glob_match(pattern + 1, text)) return true;
+    if (*text == '\0') return false;
+  }
+}
+
+Rule parse_rule(const std::string& entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+    throw std::invalid_argument("fault spec entry \"" + entry +
+                                "\" is not NAME=TRIGGER");
+  }
+  Rule rule;
+  rule.glob = entry.substr(0, eq);
+  const std::string trigger = entry.substr(eq + 1);
+  try {
+    if (trigger == "off") {
+      rule.mode = kOff;
+    } else if (trigger[0] == 'p') {
+      rule.mode = kProbability;
+      rule.probability = std::stod(trigger.substr(1));
+      if (rule.probability < 0.0 || rule.probability > 1.0) {
+        throw std::invalid_argument("probability out of [0,1]");
+      }
+    } else if (trigger[0] == 'n' || trigger[0] == 'e') {
+      rule.mode = trigger[0] == 'n' ? kNth : kEvery;
+      rule.nth = std::stoull(trigger.substr(1));
+      if (rule.nth == 0) throw std::invalid_argument("call index must be >0");
+    } else {
+      throw std::invalid_argument("unknown trigger kind");
+    }
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("bad fault trigger \"" + trigger +
+                                "\" in \"" + entry +
+                                "\" (expected pP, nN, eN or off)");
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("fault trigger value out of range in \"" +
+                                entry + "\"");
+  }
+  return rule;
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    state = splitmix64(state) ^ static_cast<std::uint64_t>(
+                                    static_cast<unsigned char>(c));
+  }
+  return splitmix64(state);
+}
+
+}  // namespace detail
+
+using detail::registry;
+
+/// Caller holds the registry mutex.
+void reset_points_locked() {
+  for (FaultPoint* point : registry().points) {
+    point->calls_ = 0;
+    point->fired_calls_.clear();
+  }
+}
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  std::vector<detail::Rule> rules;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    const std::size_t end = spec.find_first_of(";,", at);
+    const std::string entry =
+        spec.substr(at, end == std::string::npos ? end : end - at);
+    at = end == std::string::npos ? spec.size() : end + 1;
+    if (!entry.empty()) rules.push_back(detail::parse_rule(entry));
+  }
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.rules = std::move(rules);
+  reg.seed = seed;
+  reset_points_locked();
+  ++reg.generation;
+  detail::g_enabled.store(!reg.rules.empty(), std::memory_order_release);
+}
+
+bool configure_from_env() {
+  const char* spec = std::getenv("BAGSCHED_FAULTS");
+  if (spec == nullptr || *spec == '\0') return enabled();
+  const char* seed_text = std::getenv("BAGSCHED_FAULT_SEED");
+  std::uint64_t seed = 0;
+  if (seed_text != nullptr && *seed_text != '\0') {
+    seed = std::strtoull(seed_text, nullptr, 10);
+  }
+  configure(spec, seed);
+  return enabled();
+}
+
+void disable() { configure("", 0); }
+
+std::uint64_t seed() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.seed;
+}
+
+std::vector<PointSnapshot> snapshot() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<PointSnapshot> out;
+  out.reserve(reg.points.size());
+  for (FaultPoint* point : reg.points) {
+    PointSnapshot entry;
+    entry.name = point->name_;
+    entry.calls = point->calls_;
+    entry.fired_calls = point->fired_calls_;
+    entry.fires = entry.fired_calls.size();
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint64_t fires(const std::string& glob) {
+  std::uint64_t total = 0;
+  for (const auto& point : snapshot()) {
+    if (detail::glob_match(glob.c_str(), point.name.c_str())) {
+      total += point.fires;
+    }
+  }
+  return total;
+}
+
+FaultPoint::FaultPoint(const char* name)
+    : name_(name), name_hash_(detail::hash_name(name_)) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.points.push_back(this);
+}
+
+bool FaultPoint::fire_slow() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (generation_ != reg.generation) {
+    // Re-resolve the trigger from the active rules (last match wins) and
+    // restart this point's call sequence under the new configuration.
+    mode_ = detail::kOff;
+    for (const auto& rule : reg.rules) {
+      if (!detail::glob_match(rule.glob.c_str(), name_.c_str())) continue;
+      mode_ = rule.mode;
+      probability_ = rule.probability;
+      nth_ = rule.nth;
+    }
+    calls_ = 0;
+    generation_ = reg.generation;
+  }
+  const std::uint64_t call = ++calls_;  // 1-based
+  bool fired = false;
+  switch (mode_) {
+    case detail::kProbability: {
+      // Stateless decision: a pure function of (seed, point name, call
+      // index). Thread interleavings cannot perturb the sequence.
+      std::uint64_t state = reg.seed ^ name_hash_ ^ (call * 0x9e3779b9ULL);
+      const std::uint64_t draw = splitmix64(state);
+      fired = static_cast<double>(draw) <
+              probability_ * 18446744073709551616.0;  // p * 2^64
+      break;
+    }
+    case detail::kNth:
+      fired = call == nth_;
+      break;
+    case detail::kEvery:
+      fired = call % nth_ == 0;
+      break;
+    default:
+      break;
+  }
+  if (fired) fired_calls_.push_back(call);
+  return fired;
+}
+
+}  // namespace bagsched::util::fault

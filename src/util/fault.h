@@ -1,0 +1,132 @@
+// Deterministic, seed-driven fault injection for resilience testing.
+//
+// A fault *point* is a named site in production code that asks, on every
+// pass, whether an injected failure should fire there:
+//
+//   if (BAGSCHED_FAULT("net.server.read")) {
+//     close_connection(connection);  // the site owns the failure mode
+//     return;
+//   }
+//
+// The framework only answers yes/no; the call site decides what a failure
+// means (errno, short count, throw, stall). Disabled — the default — a
+// point costs one relaxed atomic load and a predictable branch, so points
+// can sit on solver inner loops and the network hot path.
+//
+// Triggers are configured per point (glob patterns, later entries win):
+//
+//   fault::configure("net.server.*=p0.05;service.execute=n3", seed);
+//   fault::configure_from_env();  // BAGSCHED_FAULTS / BAGSCHED_FAULT_SEED
+//
+//   p0.05   fire each call with probability 0.05
+//   n3      fire exactly on the 3rd call
+//   e100    fire on every 100th call
+//   off     never fire (masks a broader glob)
+//
+// Determinism: a probability decision for call k at point P is a pure
+// function of (seed, P's name, k) — no shared PRNG state — so the fired
+// sequence at every point is identical across runs with the same seed and
+// call counts, regardless of thread interleaving. configure() resets all
+// call counters, so a test can replay a scenario exactly. Each point name
+// should identify ONE code site: the BAGSCHED_FAULT macro keeps one
+// counter per expansion, and duplicating a name across sites would split
+// its call sequence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bagsched::util::fault {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when any trigger is configured. Inline: this is the only cost a
+/// fault point pays in production (disabled) builds and runs.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+/// Installs a trigger spec ("glob=trigger" entries separated by ';' or
+/// ',') and the seed for probability decisions, resets every registered
+/// point's counters and history, and enables injection (an empty spec
+/// disables it). Throws std::invalid_argument on a malformed spec.
+void configure(const std::string& spec, std::uint64_t seed = 0);
+
+/// configure(getenv("BAGSCHED_FAULTS"), getenv("BAGSCHED_FAULT_SEED")).
+/// No-op when BAGSCHED_FAULTS is unset or empty; returns enabled().
+bool configure_from_env();
+
+/// Clears the spec, disables injection and resets counters/history.
+void disable();
+
+/// The active probability seed.
+std::uint64_t seed();
+
+/// Counters of one registered fault point (aggregated per call site).
+struct PointSnapshot {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t fires = 0;
+  /// 1-based call indices that fired, in order — the injected-fault
+  /// sequence a seed must reproduce.
+  std::vector<std::uint64_t> fired_calls;
+};
+
+/// Every point that has been constructed so far, sorted by name.
+std::vector<PointSnapshot> snapshot();
+
+/// Total fires across points matching `glob` ("*" wildcards).
+std::uint64_t fires(const std::string& glob);
+
+/// One call site's state. Construct as a function-local static (see the
+/// BAGSCHED_FAULT macro); instances are immortal and self-register.
+class FaultPoint {
+ public:
+  explicit FaultPoint(const char* name);
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// Should an injected failure fire here, now?
+  bool fire() {
+    if (!enabled()) return false;
+    return fire_slow();
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend std::vector<PointSnapshot> snapshot();
+  friend void reset_points_locked();
+
+  /// The enabled path runs entirely under the registry mutex: injection is
+  /// a test-time facility, so correctness (deterministic sequences, torn-
+  /// free snapshots) beats enabled-mode throughput. The disabled path
+  /// never takes the lock.
+  bool fire_slow();
+
+  std::string name_;
+  std::uint64_t name_hash_ = 0;
+  // All remaining state is guarded by the registry mutex.
+  std::uint64_t generation_ = 0;  ///< config generation this rule is from
+  int mode_ = 0;                  ///< detail::Mode
+  double probability_ = 0.0;
+  std::uint64_t nth_ = 0;
+  std::uint64_t calls_ = 0;
+  std::vector<std::uint64_t> fired_calls_;
+};
+
+}  // namespace bagsched::util::fault
+
+/// `BAGSCHED_FAULT("name")` — true when the named fault fires at this
+/// site. Each expansion owns one FaultPoint (function-local static).
+#define BAGSCHED_FAULT(point_name)                                \
+  ([]() -> bool {                                                 \
+    static ::bagsched::util::fault::FaultPoint point(point_name); \
+    return point.fire();                                          \
+  }())
