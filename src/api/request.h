@@ -1,7 +1,19 @@
-// A scheduling request: everything the SchedulingService needs to run one
-// solve asynchronously — the instance, the shared SolveOptions, the solver
-// (or portfolio) selection, a priority, an absolute deadline and an
-// optional streaming progress observer.
+// The versioned request hierarchy: everything the SchedulingService can be
+// asked to do is a RequestBase subtype.
+//
+//   * SolveRequest — one asynchronous solve of a full instance (the
+//     original, v1 request shape);
+//   * DeltaRequest — one incremental update against an open schedule
+//     session (v2): the service routes it to the session's
+//     online::ScheduleSession, which repairs the committed schedule and
+//     reports migration cost alongside makespan.
+//
+// The split exists so the service, the JSON serializer and the wire
+// protocol agree on what is shared (options, solver selection, priority,
+// deadline, progress observer) versus what is request-specific (the
+// instance vs. the session id + delta). kApiVersion gates compatibility:
+// serialized requests carry it, and the NDJSON server rejects frames from
+// the future (net/protocol.h, DESIGN.md §5).
 //
 //   auto request = api::make_request(instance, {.eps = 0.25}, {"eptas"});
 //   request.priority = 10;
@@ -10,6 +22,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,9 +31,16 @@
 
 #include "api/progress.h"
 #include "api/solver.h"
+#include "model/delta.h"
 #include "model/instance.h"
 
 namespace bagsched::api {
+
+/// Version of the request/result surface (and of the NDJSON wire protocol,
+/// which mirrors it). v1: solve requests only. v2: delta sessions, the
+/// migration-cost result axis, versioned frames. Bump when a change is not
+/// understood by older peers; see DESIGN.md §5 for the compatibility rule.
+inline constexpr int kApiVersion = 2;
 
 /// Monotonic clock used for deadlines (absolute time points survive
 /// suspend-free wall-clock adjustments; they do NOT cross processes — the
@@ -34,11 +54,8 @@ inline ServiceClock::time_point deadline_in(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
-struct SolveRequest {
-  /// The instance to schedule. Shared (not copied) so a batch of requests
-  /// over one workload — or a portfolio fan-out — doesn't duplicate it.
-  std::shared_ptr<const model::Instance> instance;
-
+/// Fields shared by every request the service accepts.
+struct RequestBase {
   /// Options passed to every solver the request runs (the service installs
   /// its own cancellation token chained onto options.cancel).
   SolveOptions options;
@@ -50,6 +67,7 @@ struct SolveRequest {
 
   /// Queue priority: larger values dispatch first when the service is
   /// saturated; ties break by deadline (earlier first), then submit order.
+  /// Session deltas ignore it — per-session FIFO order is their contract.
   int priority = 0;
 
   /// Absolute deadline. When it expires the service cooperatively cancels
@@ -62,6 +80,26 @@ struct SolveRequest {
   /// worker threads; must be thread-safe and must outlive the request's
   /// completion (waiting on the handle is enough).
   ProgressFn on_progress;
+};
+
+/// One asynchronous solve of a full instance.
+struct SolveRequest : RequestBase {
+  /// The instance to schedule. Shared (not copied) so a batch of requests
+  /// over one workload — or a portfolio fan-out — doesn't duplicate it.
+  std::shared_ptr<const model::Instance> instance;
+};
+
+/// One incremental update against an open schedule session. The service
+/// serializes deltas per session (FIFO), repairs the committed schedule
+/// (online::ScheduleSession) and resolves the handle with a result whose
+/// moved_jobs / migration_ratio fields are filled. options/solvers are
+/// ignored — a session fixes them at open time so its memo and regret
+/// accounting stay coherent.
+struct DeltaRequest : RequestBase {
+  /// Session id from SchedulingService::open_session. Unknown or closed
+  /// ids resolve the handle with SolveStatus::Error ("unknown session").
+  std::uint64_t session = 0;
+  model::Delta delta;
 };
 
 /// Convenience builder: owns a copy of the instance.
@@ -84,6 +122,15 @@ inline SolveRequest make_request(
   request.instance = std::move(instance);
   request.options = std::move(options);
   request.solvers = std::move(solvers);
+  return request;
+}
+
+/// Convenience builder for a session delta.
+inline DeltaRequest make_delta_request(std::uint64_t session,
+                                       model::Delta delta) {
+  DeltaRequest request;
+  request.session = session;
+  request.delta = std::move(delta);
   return request;
 }
 

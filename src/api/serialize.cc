@@ -151,6 +151,10 @@ util::Json to_json(const SolveResult& result, bool include_schedule) {
   json.set("proven_optimal", result.proven_optimal);
   json.set("schedule_feasible", result.schedule_feasible);
   json.set("cancelled", result.cancelled);
+  if (result.moved_jobs >= 0) {
+    json.set("moved_jobs", static_cast<long long>(result.moved_jobs));
+    json.set("migration_ratio", result.migration_ratio);
+  }
   json.set("wall_seconds", result.wall_seconds);
   if (!result.error.empty()) json.set("error", result.error);
   if (include_schedule && result.schedule.num_jobs() > 0) {
@@ -170,6 +174,8 @@ SolveResult solve_result_from_json(const util::Json& json) {
   result.proven_optimal = json.bool_or("proven_optimal", false);
   result.schedule_feasible = json.bool_or("schedule_feasible", false);
   result.cancelled = json.bool_or("cancelled", false);
+  result.moved_jobs = static_cast<int>(json.int_or("moved_jobs", -1));
+  result.migration_ratio = json.number_or("migration_ratio", 0.0);
   result.wall_seconds = json.number_or("wall_seconds", 0.0);
   result.error = json.string_or("error", "");
   if (const util::Json* schedule = json.find("schedule")) {
@@ -211,6 +217,106 @@ SolveRequest solve_request_from_json(const util::Json& json) {
     for (const util::Json& name : solvers->as_array()) {
       request.solvers.push_back(name.as_string());
     }
+  }
+  request.priority = static_cast<int>(json.int_or("priority", 0));
+  if (const util::Json* deadline = json.find("deadline_seconds")) {
+    request.deadline = deadline_in(deadline->as_number());
+  }
+  return request;
+}
+
+util::Json to_json(const model::Delta& delta) {
+  util::Json json = util::Json::object();
+  if (!delta.arrivals.empty()) {
+    util::Json arrivals = util::Json::array();
+    for (const model::JobArrival& arrival : delta.arrivals) {
+      util::Json entry = util::Json::object();
+      entry.set("size", arrival.size);
+      entry.set("bag", static_cast<long long>(arrival.bag));
+      arrivals.push_back(std::move(entry));
+    }
+    json.set("arrivals", std::move(arrivals));
+  }
+  if (!delta.departures.empty()) {
+    util::Json departures = util::Json::array();
+    for (const model::JobId job : delta.departures) {
+      departures.push_back(static_cast<long long>(job));
+    }
+    json.set("departures", std::move(departures));
+  }
+  if (!delta.resizes.empty()) {
+    util::Json resizes = util::Json::array();
+    for (const model::JobResize& resize : delta.resizes) {
+      util::Json entry = util::Json::object();
+      entry.set("job", static_cast<long long>(resize.job));
+      entry.set("size", resize.size);
+      resizes.push_back(std::move(entry));
+    }
+    json.set("resizes", std::move(resizes));
+  }
+  if (delta.machines_added != 0) {
+    json.set("machines_added", static_cast<long long>(delta.machines_added));
+  }
+  if (!delta.failed_machines.empty()) {
+    util::Json failed = util::Json::array();
+    for (const model::MachineId machine : delta.failed_machines) {
+      failed.push_back(static_cast<long long>(machine));
+    }
+    json.set("failed_machines", std::move(failed));
+  }
+  return json;
+}
+
+model::Delta delta_from_json(const util::Json& json) {
+  model::Delta delta;
+  if (const util::Json* arrivals = json.find("arrivals")) {
+    for (const util::Json& entry : arrivals->as_array()) {
+      delta.arrivals.push_back(model::JobArrival{
+          entry.at("size").as_number(),
+          static_cast<model::BagId>(entry.at("bag").as_int())});
+    }
+  }
+  if (const util::Json* departures = json.find("departures")) {
+    for (const util::Json& job : departures->as_array()) {
+      delta.departures.push_back(static_cast<model::JobId>(job.as_int()));
+    }
+  }
+  if (const util::Json* resizes = json.find("resizes")) {
+    for (const util::Json& entry : resizes->as_array()) {
+      delta.resizes.push_back(model::JobResize{
+          static_cast<model::JobId>(entry.at("job").as_int()),
+          entry.at("size").as_number()});
+    }
+  }
+  delta.machines_added = static_cast<int>(json.int_or("machines_added", 0));
+  if (const util::Json* failed = json.find("failed_machines")) {
+    for (const util::Json& machine : failed->as_array()) {
+      delta.failed_machines.push_back(
+          static_cast<model::MachineId>(machine.as_int()));
+    }
+  }
+  return delta;
+}
+
+util::Json to_json(const DeltaRequest& request) {
+  util::Json json = util::Json::object();
+  json.set("session", static_cast<long long>(request.session));
+  json.set("delta", to_json(request.delta));
+  if (request.priority != 0) json.set("priority", request.priority);
+  if (request.deadline.has_value()) {
+    json.set("deadline_seconds",
+             std::chrono::duration<double>(*request.deadline -
+                                           ServiceClock::now())
+                 .count());
+  }
+  return json;
+}
+
+DeltaRequest delta_request_from_json(const util::Json& json) {
+  DeltaRequest request;
+  request.session = static_cast<std::uint64_t>(json.at("session").as_int());
+  if (const util::Json* delta = json.find("delta")) {
+    request.delta = delta_from_json(*delta);
   }
   request.priority = static_cast<int>(json.int_or("priority", 0));
   if (const util::Json* deadline = json.find("deadline_seconds")) {

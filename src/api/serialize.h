@@ -37,6 +37,18 @@ SolveResult solve_result_from_json(const util::Json& json);
 util::Json to_json(const SolveRequest& request);
 SolveRequest solve_request_from_json(const util::Json& json);
 
+/// Delta shape: {"arrivals":[{"size":s,"bag":b},...], "departures":[ids],
+/// "resizes":[{"job":j,"size":s},...], "machines_added":k,
+/// "failed_machines":[ids]} — empty fields are omitted on the way out and
+/// default on the way in, so "{}" parses as the noop delta.
+util::Json to_json(const model::Delta& delta);
+model::Delta delta_from_json(const util::Json& json);
+
+/// DeltaRequest carries {"session": id, "delta": {...}} plus the shared
+/// base fields (priority, deadline_seconds).
+util::Json to_json(const DeltaRequest& request);
+DeltaRequest delta_request_from_json(const util::Json& json);
+
 /// Inverse of to_string(SolveStatus); throws std::runtime_error on an
 /// unknown name.
 SolveStatus solve_status_from_string(const std::string& name);

@@ -1,9 +1,11 @@
 #include "api/service.h"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
+#include "api/options_digest.h"
 #include "api/portfolio.h"
 #include "api/registry.h"
 #include "api/serialize.h"
@@ -21,6 +23,12 @@ struct RequestState {
 
   std::uint64_t id = 0;
   SolveRequest request;
+
+  // --- Session routing (set only for session ops) ------------------------
+  std::uint64_t session_id = 0;
+  bool session_op = false;    ///< runs on a session FIFO, not the queue
+  bool session_open = false;  ///< this op is the session's initial solve
+  model::Delta delta;         ///< the delta, when !session_open
 
   // --- Solve-cache participation (immutable after prepare_cache) ---------
   bool cache_enabled = false;   ///< cache_mode != Off and instance is valid
@@ -79,9 +87,25 @@ struct RequestState {
   }
 };
 
+/// One open schedule session: the repair engine plus a FIFO of its pending
+/// operations. All fields except `session` are guarded by the service
+/// mutex; `session` (the ScheduleSession itself) is only ever touched by
+/// the single in-flight op of this session, which `busy` serializes.
+struct SessionState {
+  std::uint64_t id = 0;
+  online::SessionOptions tuning;
+  std::shared_ptr<const model::Instance> initial_instance;
+  std::unique_ptr<online::ScheduleSession> session;
+  bool busy = false;    ///< an op of this session is on the pool
+  bool closed = false;  ///< no new ops accepted; drains then retires
+  bool failed = false;  ///< the initial solve failed; deltas error out
+  std::deque<std::shared_ptr<RequestState>> pending;
+};
+
 }  // namespace detail
 
 using detail::RequestState;
+using detail::SessionState;
 
 // --- SolveHandle -----------------------------------------------------------
 
@@ -219,6 +243,15 @@ SchedulingService::~SchedulingService() {
       state->service_cancel.store(true, std::memory_order_relaxed);
       state->cancel.request_stop();
     }
+    // Session FIFOs: queued ops resolve as cancelled below; in-flight ones
+    // run to completion (repairs are short) and the idle wait covers them.
+    for (const auto& [id, session] : sessions_) {
+      session->closed = true;
+      while (!session->pending.empty()) {
+        pending.push_back(std::move(session->pending.front()));
+        session->pending.pop_front();
+      }
+    }
   }
   watchdog_cv_.notify_all();
   // Resolve never-dispatched requests so their handles don't block forever.
@@ -233,7 +266,9 @@ SchedulingService::~SchedulingService() {
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return running_.empty(); });
+    idle_cv_.wait(lock, [this] {
+      return running_.empty() && session_ops_active_ == 0;
+    });
   }
   if (watchdog_.joinable()) watchdog_.join();
   // pool_ destructor joins the workers (its queue is already drained).
@@ -352,10 +387,199 @@ std::vector<SolveHandle> SchedulingService::submit_batch(
   return handles;
 }
 
+// --- Sessions ---------------------------------------------------------------
+
+SchedulingService::SessionOpening SchedulingService::open_session(
+    SolveRequest request, online::SessionOptions tuning) {
+  if (request.instance == nullptr) {
+    throw std::invalid_argument("SolveRequest.instance is null");
+  }
+  for (const auto& name : request.solvers) {
+    SolverRegistry::global().resolve(name);  // throws, listing names
+  }
+  // The request's options/solvers become the session's solve configuration
+  // (the tuning struct only contributes the repair knobs) — one source of
+  // truth for the session's memo and regret accounting.
+  tuning.solve = request.options;
+  tuning.solvers = request.solvers;
+  // The session runs its own solves; the caller's progress callback is the
+  // request's, not the option-level one (which portfolio members would
+  // multiply), and cancellation is not plumbed through repairs.
+  tuning.solve.progress = nullptr;
+
+  auto session = std::make_shared<SessionState>();
+  session->tuning = std::move(tuning);
+  session->initial_instance = request.instance;
+  auto state = std::make_shared<RequestState>(std::move(request));
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  state->session_op = true;
+  state->session_open = true;
+
+  SessionOpening opening;
+  opening.initial = SolveHandle(state);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("SchedulingService: open_session after shutdown");
+    }
+    session->id = ++next_session_id_;
+    state->session_id = session->id;
+    sessions_.emplace(session->id, session);
+    ++sessions_opened_;
+    session->busy = true;
+    ++session_ops_active_;
+  }
+  opening.session = session->id;
+  state->emit({.kind = ProgressKind::Queued});
+  pool_.submit([this, session, state] { run_session_op(session, state); });
+  return opening;
+}
+
+SolveHandle SchedulingService::submit(DeltaRequest request) {
+  // Carry the shared base fields (deadline, progress, ...) in a SolveRequest
+  // shell with no instance — session ops never dereference it.
+  SolveRequest carrier;
+  static_cast<RequestBase&>(carrier) =
+      std::move(static_cast<RequestBase&>(request));
+  auto state = std::make_shared<RequestState>(std::move(carrier));
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  state->session_op = true;
+  state->session_id = request.session;
+  state->delta = std::move(request.delta);
+
+  std::shared_ptr<SessionState> session;
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("SchedulingService: submit after shutdown");
+    }
+    const auto it = sessions_.find(request.session);
+    if (it != sessions_.end() && !it->second->closed) {
+      session = it->second;
+      state->emit({.kind = ProgressKind::Queued});
+      if (session->busy) {
+        session->pending.push_back(state);
+      } else {
+        session->busy = true;
+        ++session_ops_active_;
+        start = true;
+      }
+    }
+  }
+  if (session == nullptr) {
+    SolveResult result;
+    result.solver = "online-session";
+    result.status = SolveStatus::Error;
+    result.error = "unknown session " + std::to_string(request.session);
+    resolve(state, std::move(result), /*emit_finished=*/true);
+    return SolveHandle(state);
+  }
+  if (start) {
+    pool_.submit([this, session, state] { run_session_op(session, state); });
+  }
+  return SolveHandle(state);
+}
+
+bool SchedulingService::close_session(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second->closed) return false;
+  it->second->closed = true;
+  ++sessions_closed_;
+  // Queued deltas still resolve; the last one retires the entry (see
+  // pump_session_locked). An idle session retires immediately.
+  if (!it->second->busy && it->second->pending.empty()) sessions_.erase(it);
+  return true;
+}
+
+void SchedulingService::pump_session_locked(
+    const std::shared_ptr<SessionState>& session) {
+  if (session->busy) return;
+  if (!session->pending.empty() && !stopping_) {
+    auto next = std::move(session->pending.front());
+    session->pending.pop_front();
+    session->busy = true;
+    ++session_ops_active_;
+    pool_.submit(
+        [this, session, next] { run_session_op(session, next); });
+    return;
+  }
+  if (session->closed && session->pending.empty()) {
+    sessions_.erase(session->id);
+  }
+}
+
+void SchedulingService::run_session_op(
+    std::shared_ptr<detail::SessionState> session,
+    std::shared_ptr<detail::RequestState> state) {
+  state->emit({.kind = ProgressKind::Started});
+  SolveResult result;
+  bool failed_open = false;
+  if (state->session_open) {
+    try {
+      session->session = std::make_unique<online::ScheduleSession>(
+          *session->initial_instance, session->tuning);
+      result = session->session->last_result();
+    } catch (const std::exception& error) {
+      result.status = SolveStatus::Infeasible;
+      result.solver = "online-session";
+      result.error = error.what();
+      failed_open = true;
+    }
+  } else if (session->failed || session->session == nullptr) {
+    result.status = SolveStatus::Error;
+    result.solver = "online-session";
+    result.error = "unknown session " + std::to_string(session->id) +
+                   ": its initial solve failed";
+  } else {
+    try {
+      result = session->session->apply(state->delta);
+    } catch (const std::exception& error) {
+      // Malformed delta (unknown job ids, duplicate departures, ...): the
+      // session keeps its previous commit and stays usable.
+      result.status = SolveStatus::Error;
+      result.solver = "online-session";
+      result.error = std::string("invalid delta: ") + error.what();
+    }
+  }
+  result.stats["request_id"] = static_cast<long long>(state->id);
+  result.stats["session"] = static_cast<long long>(session->id);
+
+  const bool is_delta = !state->session_open;
+  const bool fresh_path =
+      stat_str(result.stats, "online.path") == "fresh";
+  resolve(state, std::move(result), /*emit_finished=*/true);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->busy = false;
+    --session_ops_active_;
+    if (failed_open && !session->closed) {
+      // A session that never committed a schedule cannot serve deltas;
+      // close it so queued ones drain with "unknown session".
+      session->failed = true;
+      session->closed = true;
+      ++sessions_closed_;
+    }
+    if (is_delta) {
+      ++session_deltas_;
+      if (fresh_path) {
+        ++session_fresh_;
+      } else if (state->result.ok()) {
+        ++session_repaired_;
+      }
+    }
+    pump_session_locked(session);
+  }
+  idle_cv_.notify_all();
+}
+
 void SchedulingService::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock,
-                [this] { return queue_.empty() && running_.empty(); });
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && running_.empty() && session_ops_active_ == 0;
+  });
 }
 
 SchedulingService::Stats SchedulingService::stats() const {
@@ -370,6 +594,14 @@ SchedulingService::Stats SchedulingService::stats() const {
   stats.cache_rounded_hits = cache_rounded_hits_;
   stats.dedup_shared = dedup_shared_;
   stats.queue_wait_ewma_seconds = queue_wait_ewma_;
+  stats.sessions_opened = sessions_opened_;
+  stats.sessions_closed = sessions_closed_;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->closed) ++stats.open_sessions;
+  }
+  stats.session_deltas = session_deltas_;
+  stats.session_repaired = session_repaired_;
+  stats.session_fresh = session_fresh_;
   return stats;
 }
 
@@ -385,7 +617,7 @@ void SchedulingService::prepare_cache(RequestState& state) {
     return;
   }
   const std::string signature = solver_signature(request.solvers);
-  const std::uint64_t digest = cache::options_digest(request.options);
+  const std::uint64_t digest = options_digest(request.options);
   state.form = cache::Canonicalizer::exact(*request.instance);
   state.key = cache::CacheKey{state.form.fingerprint, signature, digest,
                               /*rounded=*/false};

@@ -44,12 +44,14 @@
 #include "api/request.h"
 #include "api/solver.h"
 #include "cache/solve_cache.h"
+#include "online/session.h"
 #include "util/thread_pool.h"
 
 namespace bagsched::api {
 
 namespace detail {
 struct RequestState;
+struct SessionState;
 }
 
 /// Caller's view of one submitted request. Cheap to copy (shared state);
@@ -124,6 +126,15 @@ struct ServiceStats {
   /// it rises when requests sit in the queue and decays as dispatch
   /// latency recovers, without a scrape-window dependency.
   double queue_wait_ewma_seconds = 0.0;
+  // --- Online sessions (v2) ---------------------------------------------
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::size_t open_sessions = 0;     ///< gauge
+  std::uint64_t session_deltas = 0;  ///< resolved delta requests
+  /// Deltas settled without a full solve (noop / memo / repair / region).
+  std::uint64_t session_repaired = 0;
+  /// Deltas that fell through to a fresh portfolio solve.
+  std::uint64_t session_fresh = 0;
 };
 
 class SchedulingService {
@@ -150,6 +161,38 @@ class SchedulingService {
   /// returns all handles at once, in request order.
   std::vector<SolveHandle> submit_batch(std::vector<SolveRequest> requests);
 
+  // --- Online sessions (v2) ------------------------------------------------
+
+  /// A freshly opened session: the id to address deltas to, plus the handle
+  /// of the initial solve (the session's first committed schedule). The
+  /// session accepts deltas immediately — they queue behind the initial
+  /// solve in the session's FIFO. When the initial solve fails (infeasible
+  /// instance), its handle carries the error and the session closes itself;
+  /// queued deltas then resolve with "unknown session".
+  struct SessionOpening {
+    std::uint64_t session = 0;
+    SolveHandle initial;
+  };
+
+  /// Opens a schedule session on the request's instance. The request's
+  /// options/solvers become the session's solve configuration; the repair
+  /// knobs (regret bound, budgets, memo size) come from `tuning` — its
+  /// solve/solvers fields are overwritten from the request. Throws like
+  /// submit() on a null instance or unknown solver names.
+  SessionOpening open_session(SolveRequest request,
+                              online::SessionOptions tuning = {});
+
+  /// Routes a delta to its session. Deltas are serialized per session in
+  /// submit order (FIFO); the handle resolves with the repaired schedule
+  /// and migration cost, status Error on an unknown/closed session, or
+  /// status Infeasible when the delta makes the instance bag-infeasible
+  /// (the session then keeps its previous commit and stays open).
+  SolveHandle submit(DeltaRequest request);
+
+  /// Closes a session: already-queued deltas still resolve, new ones get
+  /// "unknown session". False when the id is unknown (or already closed).
+  bool close_session(std::uint64_t session);
+
   /// Blocks until no request is queued or running.
   void wait_idle();
 
@@ -173,6 +216,11 @@ class SchedulingService {
   void resolve(const std::shared_ptr<detail::RequestState>& state,
                SolveResult result, bool emit_finished);
   void watchdog_loop();
+  void run_session_op(std::shared_ptr<detail::SessionState> session,
+                      std::shared_ptr<detail::RequestState> state);
+  /// Pops the session's next pending op onto the pool (or retires the
+  /// session when it is closed and drained). Requires mutex_.
+  void pump_session_locked(const std::shared_ptr<detail::SessionState>& s);
 
   Config config_;
   std::size_t max_concurrent_ = 1;
@@ -200,6 +248,19 @@ class SchedulingService {
   std::uint64_t dedup_shared_ = 0;
   double queue_wait_ewma_ = 0.0;
   std::atomic<std::uint64_t> next_id_{0};
+
+  /// Open sessions by id; entries outlive close_session until their FIFO
+  /// drains. Guarded by mutex_ (the ScheduleSession object itself is only
+  /// touched by the single in-flight op of its session).
+  std::unordered_map<std::uint64_t, std::shared_ptr<detail::SessionState>>
+      sessions_;
+  std::uint64_t next_session_id_ = 0;
+  std::size_t session_ops_active_ = 0;  ///< ops on the pool right now
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_closed_ = 0;
+  std::uint64_t session_deltas_ = 0;
+  std::uint64_t session_repaired_ = 0;
+  std::uint64_t session_fresh_ = 0;
 
   cache::SolveCache cache_;
   util::ThreadPool pool_;

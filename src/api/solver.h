@@ -127,6 +127,13 @@ struct SolveResult {
   bool schedule_feasible = false;
   bool cancelled = false;  ///< cancellation observed (result may still hold
                            ///< the best incumbent found before the stop)
+  /// Migration cost, filled only by the online delta sessions (src/online):
+  /// jobs present both before and after a delta whose machine changed,
+  /// counted through the delta's machine renumbering (pure relabeling is
+  /// not migration). -1 = not a delta result.
+  int moved_jobs = -1;
+  /// moved_jobs / surviving jobs; 0 when moved_jobs is -1 or no survivors.
+  double migration_ratio = 0.0;
   double wall_seconds = 0.0;
   std::string error;  ///< diagnostics when status == Infeasible
   Telemetry stats;    ///< per-solver typed telemetry

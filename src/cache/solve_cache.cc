@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "api/options_digest.h"
 #include "util/fault.h"
 #include "util/hash.h"
 
@@ -18,35 +19,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
 }
 
 std::uint64_t options_digest(const api::SolveOptions& options) {
-  util::Hash128 hash(0x0d16e57ULL);
-  hash.update(std::bit_cast<std::uint64_t>(options.eps));
-  hash.update(std::bit_cast<std::uint64_t>(options.time_limit_seconds));
-  hash.update(static_cast<std::uint64_t>(options.max_nodes));
-  hash.update(static_cast<std::uint64_t>(options.max_moves));
-  hash.update(static_cast<std::uint64_t>(options.multifit_iterations));
-  hash.update(options.seed);
-  hash.update(std::bit_cast<std::uint64_t>(options.stack_threshold));
-  // Result-relevant EPTAS knobs: the constants profile and its caps, the
-  // reuse/enumeration toggles, the guess grid and the nested MILP budgets
-  // all steer which schedule comes out. num_threads is deliberately
-  // absent: the speculative guess search returns bit-identical results at
-  // every thread count, so requests differing only in threads may share a
-  // cache entry.
-  hash.update(static_cast<std::uint64_t>(options.eptas.profile));
-  hash.update(static_cast<std::uint64_t>(
-      options.eptas.max_priority_per_size));
-  hash.update(static_cast<std::uint64_t>(options.eptas.max_priority_total));
-  hash.update(static_cast<std::uint64_t>(options.eptas.max_patterns));
-  hash.update(static_cast<std::uint64_t>(options.eptas.max_milp_patterns));
-  hash.update(options.eptas.enable_rescue ? 1ULL : 0ULL);
-  hash.update(options.eptas.warm_start ? 1ULL : 0ULL);
-  hash.update(options.eptas.use_enumerated_milp ? 1ULL : 0ULL);
-  hash.update(
-      std::bit_cast<std::uint64_t>(options.eptas.guess_step_fraction));
-  hash.update(static_cast<std::uint64_t>(options.eptas.milp.max_nodes));
-  hash.update(std::bit_cast<std::uint64_t>(
-      options.eptas.milp.time_limit_seconds));
-  return hash.lo();
+  return api::options_digest(options);
 }
 
 std::size_t approx_result_bytes(const api::SolveResult& result) {

@@ -51,11 +51,9 @@ struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const;
 };
 
-/// Digest of the SolveOptions fields that can change a solver's output:
-/// eps, budgets (time / nodes / moves), multifit iterations, seed and the
-/// stack threshold. Deliberately excludes num_threads (the parallel
-/// solvers produce thread-count-independent results) and the
-/// cancellation/progress plumbing.
+/// Deprecated alias of api::options_digest (api/options_digest.h), the one
+/// registry of result-relevant option fields shared by cache keys,
+/// single-flight dedup and online delta sessions.
 std::uint64_t options_digest(const api::SolveOptions& options);
 
 struct CacheConfig {

@@ -1,0 +1,146 @@
+#include "gen/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace bagsched::gen {
+
+namespace {
+
+/// Events per step: uniform on [0, 2*rate], so the expectation is `rate`
+/// without dragging in a Poisson sampler.
+int event_count(util::Xoshiro256& rng, double rate) {
+  const auto cap = static_cast<std::int64_t>(std::llround(2.0 * rate));
+  if (cap <= 0) return 0;
+  return static_cast<int>(rng.uniform_int(0, cap));
+}
+
+}  // namespace
+
+ChurnTrace churn_trace(const ChurnParams& params) {
+  ChurnTrace trace;
+  UniformParams initial;
+  initial.num_jobs = params.num_jobs;
+  initial.num_machines = params.num_machines;
+  initial.num_bags = params.num_bags;
+  initial.min_size = params.min_size;
+  initial.max_size = params.max_size;
+  initial.seed = params.seed;
+  trace.initial = uniform(initial);
+
+  util::Xoshiro256 rng(params.seed ^ 0xc0ffee5eedULL);
+  model::Instance current = trace.initial;
+  const int min_jobs = std::max(1, params.num_jobs / 4);
+  const int min_machines = std::max(1, params.num_machines / 2);
+
+  for (int step = 0; step < params.steps; ++step) {
+    model::Delta delta;
+
+    // --- machines: at most one join and one failure per step --------------
+    if (rng.bernoulli(params.machine_join_prob)) delta.machines_added = 1;
+    const bool try_fail = rng.bernoulli(params.machine_fail_prob);
+    if (try_fail && current.num_machines() + delta.machines_added - 1 >=
+                        min_machines) {
+      delta.failed_machines.push_back(static_cast<model::MachineId>(
+          rng.index(static_cast<std::size_t>(current.num_machines()))));
+    }
+    int post_machines = current.num_machines() + delta.machines_added -
+                        static_cast<int>(delta.failed_machines.size());
+
+    // --- departures: distinct random jobs, keeping a workload floor -------
+    const int departures = std::min(
+        event_count(rng, params.departures_per_step),
+        std::max(0, current.num_jobs() - min_jobs));
+    std::vector<model::JobId> pool(
+        static_cast<std::size_t>(current.num_jobs()));
+    for (model::JobId job = 0; job < current.num_jobs(); ++job) {
+      pool[static_cast<std::size_t>(job)] = job;
+    }
+    rng.shuffle(pool);
+    delta.departures.assign(pool.begin(), pool.begin() + departures);
+
+    // Bag occupancy after the departures — the feasibility budget for this
+    // step's machine failure and arrivals.
+    std::vector<int> occupancy(static_cast<std::size_t>(current.num_bags()),
+                               0);
+    {
+      std::vector<char> departs(
+          static_cast<std::size_t>(current.num_jobs()), 0);
+      for (const model::JobId job : delta.departures) {
+        departs[static_cast<std::size_t>(job)] = 1;
+      }
+      for (model::JobId job = 0; job < current.num_jobs(); ++job) {
+        if (!departs[static_cast<std::size_t>(job)]) {
+          ++occupancy[static_cast<std::size_t>(current.job(job).bag)];
+        }
+      }
+    }
+    // A failure that would strand a full bag is suppressed.
+    if (!delta.failed_machines.empty()) {
+      const int fullest =
+          occupancy.empty()
+              ? 0
+              : *std::max_element(occupancy.begin(), occupancy.end());
+      if (fullest > post_machines) {
+        delta.failed_machines.clear();
+        post_machines = current.num_machines() + delta.machines_added;
+      }
+    }
+
+    // --- arrivals: feasible bags only; sometimes open a fresh bag ---------
+    const int arrivals = event_count(rng, params.arrivals_per_step);
+    int new_bags = 0;
+    for (int k = 0; k < arrivals; ++k) {
+      model::JobArrival arrival;
+      arrival.size = rng.uniform_real(params.min_size, params.max_size);
+      std::vector<model::BagId> open;
+      for (model::BagId bag = 0;
+           bag < static_cast<model::BagId>(occupancy.size()); ++bag) {
+        if (occupancy[static_cast<std::size_t>(bag)] < post_machines) {
+          open.push_back(bag);
+        }
+      }
+      if (open.empty() || rng.bernoulli(0.1)) {
+        arrival.bag =
+            static_cast<model::BagId>(current.num_bags() + new_bags);
+        ++new_bags;
+        occupancy.push_back(1);
+      } else {
+        arrival.bag = open[rng.index(open.size())];
+        ++occupancy[static_cast<std::size_t>(arrival.bag)];
+      }
+      delta.arrivals.push_back(arrival);
+    }
+
+    // --- resizes: surviving jobs drift multiplicatively -------------------
+    const int resizes = event_count(rng, params.resizes_per_step);
+    std::vector<char> taken(static_cast<std::size_t>(current.num_jobs()),
+                            0);
+    for (const model::JobId job : delta.departures) {
+      taken[static_cast<std::size_t>(job)] = 1;
+    }
+    for (int k = 0; k < resizes; ++k) {
+      // Rejection-sample a free survivor; give up after a few tries so a
+      // tiny instance cannot stall the generator.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto job = static_cast<model::JobId>(
+            rng.index(static_cast<std::size_t>(current.num_jobs())));
+        if (taken[static_cast<std::size_t>(job)]) continue;
+        taken[static_cast<std::size_t>(job)] = 1;
+        const double factor = rng.uniform_real(1.0 / (1.0 + params.size_drift),
+                                               1.0 + params.size_drift);
+        delta.resizes.push_back(
+            model::JobResize{job, current.job(job).size * factor});
+        break;
+      }
+    }
+
+    current = model::apply_delta(current, delta);
+    trace.deltas.push_back(std::move(delta));
+  }
+  return trace;
+}
+
+}  // namespace bagsched::gen

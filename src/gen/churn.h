@@ -1,0 +1,52 @@
+// Churn traces for the online scheduling experiments (DESIGN.md §7): a
+// seeded initial instance plus a deterministic sequence of deltas modeling
+// rolling cluster churn — job arrivals/departures, size drift, machine
+// joins and failures — with every intermediate instance guaranteed
+// bag-feasible, so a trace can be replayed through online::ScheduleSession
+// (or over the wire) without infeasibility special cases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/generators.h"
+#include "model/delta.h"
+#include "model/instance.h"
+
+namespace bagsched::gen {
+
+struct ChurnParams {
+  /// Shape of the initial instance (uniform family).
+  int num_jobs = 200;
+  int num_machines = 16;
+  int num_bags = 40;
+  double min_size = 0.1;
+  double max_size = 1.0;
+  /// Deltas in the trace.
+  int steps = 50;
+  /// Expected events per delta, split over the event kinds below.
+  double arrivals_per_step = 2.0;
+  double departures_per_step = 2.0;
+  double resizes_per_step = 1.0;
+  /// Per-step probability of one machine joining / failing. Failures are
+  /// suppressed while they would make the instance bag-infeasible or leave
+  /// fewer than half the initial machines.
+  double machine_join_prob = 0.05;
+  double machine_fail_prob = 0.05;
+  /// Resized jobs drift by a factor uniform in [1/(1+drift), 1+drift].
+  double size_drift = 0.3;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnTrace {
+  model::Instance initial;
+  /// deltas[k] applies to the instance after deltas[0..k-1]; every
+  /// intermediate instance is bag-feasible by construction.
+  std::vector<model::Delta> deltas;
+};
+
+/// Deterministic function of its params (including the seed): two calls
+/// with equal params yield identical traces, job for job.
+ChurnTrace churn_trace(const ChurnParams& params);
+
+}  // namespace bagsched::gen

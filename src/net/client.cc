@@ -194,16 +194,21 @@ std::pair<int, std::string> http_get(const std::string& host,
 }  // namespace
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), framer_(std::move(other.framer_)) {
+    : fd_(other.fd_),
+      server_proto_version_(other.server_proto_version_),
+      framer_(std::move(other.framer_)) {
   other.fd_ = -1;
+  other.server_proto_version_ = 0;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    server_proto_version_ = other.server_proto_version_;
     framer_ = std::move(other.framer_);
     other.fd_ = -1;
+    other.server_proto_version_ = 0;
   }
   return *this;
 }
@@ -260,7 +265,17 @@ std::optional<util::Json> Client::read_frame(double timeout_seconds) {
   for (;;) {
     if (auto line = framer_.next()) {
       if (line->empty()) continue;
-      return util::Json::parse(*line);
+      util::Json frame = util::Json::parse(*line);
+      // Handshake capture: the hello greeting carries the server's
+      // protocol version. It is swallowed here (recorded, not returned) so
+      // callers written against the v1 protocol — read one frame, expect
+      // the response — keep working against a v2 server.
+      if (frame.is_object() && frame.string_or("type", "") == "hello") {
+        server_proto_version_ =
+            static_cast<int>(frame.number_or("proto_version", 0.0));
+        continue;
+      }
+      return frame;
     }
     if (BAGSCHED_FAULT("net.client.recv")) {
       close();
@@ -312,12 +327,94 @@ void Client::cancel(const std::string& id) {
   send_line(frame.dump());
 }
 
+Client::Session Client::open_session(const api::SolveRequest& request,
+                                     const std::string& id,
+                                     double regret_bound, bool want_schedule,
+                                     double read_timeout_seconds) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "open_session");
+  frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("request", api::to_json(request));
+  if (regret_bound >= 0.0) frame.set("regret_bound", regret_bound);
+  if (!want_schedule) frame.set("schedule", false);
+  send_line(frame.dump());
+  Session session;
+  // The ok frame (with the session id) precedes the initial solve's events.
+  for (;;) {
+    auto reply = read_frame(read_timeout_seconds);
+    if (!reply.has_value()) {
+      throw ConnectionError(
+          "server closed the connection before the session opened");
+    }
+    const std::string type = reply->string_or("type", "");
+    if (type == "error" && reply->string_or("id", "") == id) {
+      throw std::runtime_error(reply->string_or("code", "") + ": " +
+                               reply->string_or("message", ""));
+    }
+    if (type == "ok" && reply->string_or("op", "") == "open_session" &&
+        reply->string_or("id", "") == id) {
+      session.id = static_cast<std::uint64_t>(reply->at("session").as_int());
+      break;
+    }
+  }
+  session.initial = await_result(id, {}, read_timeout_seconds);
+  return session;
+}
+
+api::SolveResult Client::delta(std::uint64_t session,
+                               const model::Delta& delta,
+                               const std::string& id, bool want_schedule,
+                               double read_timeout_seconds) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "delta");
+  frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("session", session);
+  frame.set("delta", api::to_json(delta));
+  if (!want_schedule) frame.set("schedule", false);
+  send_line(frame.dump());
+  return await_result(id, {}, read_timeout_seconds);
+}
+
+void Client::close_session(std::uint64_t session, const std::string& id,
+                           double read_timeout_seconds) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "close_session");
+  frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("session", session);
+  send_line(frame.dump());
+  for (;;) {
+    auto reply = read_frame(read_timeout_seconds);
+    if (!reply.has_value()) {
+      throw ConnectionError(
+          "server closed the connection before the close was acknowledged");
+    }
+    const std::string type = reply->string_or("type", "");
+    if (type == "error" && reply->string_or("id", "") == id) {
+      throw std::runtime_error(reply->string_or("code", "") + ": " +
+                               reply->string_or("message", ""));
+    }
+    if (type == "ok" && reply->string_or("op", "") == "close_session" &&
+        reply->string_or("id", "") == id) {
+      return;
+    }
+  }
+}
+
 api::SolveResult Client::solve(const api::SolveRequest& request,
                                const std::string& id, bool want_progress,
                                const api::ProgressFn& on_progress,
                                bool want_schedule,
                                double read_timeout_seconds) {
   submit(request, id, want_progress, want_schedule);
+  return await_result(id, on_progress, read_timeout_seconds);
+}
+
+api::SolveResult Client::await_result(const std::string& id,
+                                      const api::ProgressFn& on_progress,
+                                      double read_timeout_seconds) {
   for (;;) {
     auto frame = read_frame(read_timeout_seconds);
     if (!frame.has_value()) {

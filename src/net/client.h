@@ -94,6 +94,38 @@ class Client {
               bool want_progress = false, bool want_schedule = true);
   void cancel(const std::string& id);
 
+  /// The server's protocol version, captured from its hello greeting; 0
+  /// until the first frame has been read (v1 servers never send one).
+  int server_proto_version() const { return server_proto_version_; }
+
+  /// An open schedule session: the server-assigned id plus the initial
+  /// solve's result.
+  struct Session {
+    std::uint64_t id = 0;
+    api::SolveResult initial;
+  };
+
+  /// Opens a schedule session (v2): sends open_session, awaits the ok
+  /// frame carrying the session id, then the initial solve's finished
+  /// event. `regret_bound` < 0 keeps the server default. Error frames for
+  /// this id throw std::runtime_error.
+  Session open_session(const api::SolveRequest& request,
+                       const std::string& id = "s1",
+                       double regret_bound = -1.0, bool want_schedule = true,
+                       double read_timeout_seconds = 0.0);
+
+  /// Applies a delta to an open session and returns the repaired result
+  /// (migration fields filled). Error frames for this id — including
+  /// unknown_session — throw std::runtime_error.
+  api::SolveResult delta(std::uint64_t session, const model::Delta& delta,
+                         const std::string& id = "d1",
+                         bool want_schedule = true,
+                         double read_timeout_seconds = 0.0);
+
+  /// Closes a session and awaits the acknowledgement.
+  void close_session(std::uint64_t session, const std::string& id = "c1",
+                     double read_timeout_seconds = 0.0);
+
   /// Full round trip: submit, stream until this id's terminal frame.
   /// Progress events are surfaced through `on_progress` (request ids are
   /// not service ids here — the event's request_id is 0). Rejection frames
@@ -110,7 +142,14 @@ class Client {
   util::Json stats();
 
  private:
+  /// Reads frames until `id`'s finished event (returning its result) or an
+  /// error frame for `id` (throwing). Shared tail of solve/delta.
+  api::SolveResult await_result(const std::string& id,
+                                const api::ProgressFn& on_progress,
+                                double read_timeout_seconds);
+
   int fd_ = -1;
+  int server_proto_version_ = 0;
   LineFramer framer_;
 };
 

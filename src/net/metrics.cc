@@ -63,6 +63,20 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_service_queue_wait_ewma_seconds", "gauge",
          "EWMA of request queue wait in seconds (brown-out signal)",
          service.queue_wait_ewma_seconds);
+  metric(out, "bagsched_service_sessions_opened_total", "counter",
+         "Online schedule sessions opened", service.sessions_opened);
+  metric(out, "bagsched_service_sessions_closed_total", "counter",
+         "Online schedule sessions closed", service.sessions_closed);
+  metric(out, "bagsched_service_open_sessions", "gauge",
+         "Online schedule sessions open right now", service.open_sessions);
+  metric(out, "bagsched_service_session_deltas_total", "counter",
+         "Delta requests resolved by online sessions", service.session_deltas);
+  metric(out, "bagsched_service_session_repaired_total", "counter",
+         "Deltas settled without a full solve (noop/memo/repair/region)",
+         service.session_repaired);
+  metric(out, "bagsched_service_session_fresh_total", "counter",
+         "Deltas that fell through to a fresh portfolio solve",
+         service.session_fresh);
   // --- SolveCache ----------------------------------------------------------
   metric(out, "bagsched_cache_hits_total", "counter", "Solve-cache lookup hits",
          cache.hits);
@@ -114,6 +128,16 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_server_request_timeouts_total", "counter",
          "Requests escalated to a timeout error by the budget watchdog",
          server.request_timeouts);
+  metric(out, "bagsched_server_session_opens_total", "counter",
+         "open_session frames admitted to the service", server.session_opens);
+  metric(out, "bagsched_server_session_deltas_total", "counter",
+         "delta frames routed to an open session", server.session_deltas);
+  metric(out, "bagsched_server_session_closes_total", "counter",
+         "Sessions closed by close_session frames or disconnects",
+         server.session_closes);
+  metric(out, "bagsched_server_version_rejects_total", "counter",
+         "Frames rejected for declaring a newer proto_version",
+         server.version_rejects);
   return out;
 }
 

@@ -59,17 +59,28 @@ std::string error_frame(const std::string& code, const std::string& message,
   return frame.dump();
 }
 
-std::string ok_frame(const std::string& op, const std::string& id) {
+std::string ok_frame(const std::string& op, const std::string& id,
+                     std::uint64_t session) {
   util::Json frame = util::Json::object();
   frame.set("type", "ok");
   frame.set("op", op);
   frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  if (session != 0) frame.set("session", session);
   return frame.dump();
 }
 
 std::string pong_frame() {
   util::Json frame = util::Json::object();
   frame.set("type", "pong");
+  return frame.dump();
+}
+
+std::string hello_frame() {
+  util::Json frame = util::Json::object();
+  frame.set("type", "hello");
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("server", "bagsched");
   return frame.dump();
 }
 
@@ -117,6 +128,10 @@ util::Json to_json(const ServerCounters& counters) {
   json.set("slow_client_disconnects", counters.slow_client_disconnects);
   json.set("brownouts", counters.brownouts);
   json.set("request_timeouts", counters.request_timeouts);
+  json.set("session_opens", counters.session_opens);
+  json.set("session_deltas", counters.session_deltas);
+  json.set("session_closes", counters.session_closes);
+  json.set("version_rejects", counters.version_rejects);
   return json;
 }
 

@@ -3,17 +3,23 @@
 // Every frame is one JSON object on one line. Client → server:
 //
 //   {"type":"submit","id":ID,"request":{...},"progress":B,"schedule":B}
+//   {"type":"open_session","id":ID,"request":{...},"schedule":B
+//    [,"regret_bound":R]}                              — v2
+//   {"type":"delta","id":ID,"session":S,"delta":{...},"schedule":B} — v2
+//   {"type":"close_session","id":ID,"session":S}                    — v2
 //   {"type":"cancel","id":ID}
 //   {"type":"stats"}
 //   {"type":"ping"}
 //
 // Server → client:
 //
+//   {"type":"hello","proto_version":V,"server":"bagsched"} — greeting, sent
+//     once per connection before the first NDJSON response (v2+ servers)
 //   {"type":"event","id":ID,"event":"queued|started|phase|incumbent|
 //    finished",...}                       — streamed request lifecycle
 //   {"type":"error","code":C,"message":M[,"id":ID]}   — structured errors
 //   {"type":"stats","service":{...},"cache":{...},"server":{...}}
-//   {"type":"ok","op":"cancel","id":ID}
+//   {"type":"ok","op":OP,"id":ID,"proto_version":V[,"session":S]}
 //   {"type":"pong"}
 //
 // ID is client-assigned (a JSON string or integer, canonicalized to its
@@ -21,6 +27,16 @@
 // submit echo it back, so one connection can multiplex any number of
 // in-flight requests. The request payload and the finished event's result
 // reuse the api/serialize JSON shapes verbatim.
+//
+// Versioning (DESIGN.md §5): kProtoVersion is the server's protocol level.
+// Any client frame may declare "proto_version"; the server rejects frames
+// from the future (declared version > its own) with an
+// "unsupported_version" error and processes undeclared or older versions
+// as today — new response fields are additive and unknown frame types are
+// skipped by v1 clients, so old clients keep working against new servers.
+// Session frames require a v2 server; sessions are scoped to their
+// connection and are closed (their server-side state dropped) when it
+// disconnects.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +49,11 @@
 
 namespace bagsched::net {
 
+/// The protocol level this build speaks (mirrors api::kApiVersion).
+/// v1: submit/cancel/stats/ping. v2: hello greeting, versioned ok frames,
+/// open_session/delta/close_session.
+inline constexpr int kProtoVersion = 2;
+
 /// Error codes carried by {"type":"error"} frames.
 ///   parse_error      the line was not a JSON object
 ///   oversized_frame  the line exceeded the frame-size cap (connection
@@ -41,6 +62,11 @@ namespace bagsched::net {
 ///   unknown_solver   a requested solver name is not registered
 ///   duplicate_id     the id is already in flight on this connection
 ///   unknown_id       cancel for an id that is not in flight
+///   unknown_session  delta/close_session for a session this connection
+///                    does not hold open
+///   unsupported_version  the frame declared proto_version > the server's
+///                    kProtoVersion; re-send without the field (or with a
+///                    supported version) to proceed
 ///   rejected         load shed: the service's max_queue_depth is full
 ///   draining         the server is draining and takes no new submits
 ///   timeout          the per-request wall-clock budget expired and the
@@ -76,6 +102,12 @@ struct ServerCounters {
   /// Requests escalated to a "timeout" error by the per-request budget's
   /// stuck-solver watchdog.
   std::uint64_t request_timeouts = 0;
+  // --- v2 ---------------------------------------------------------------
+  std::uint64_t session_opens = 0;
+  std::uint64_t session_deltas = 0;
+  std::uint64_t session_closes = 0;
+  /// Frames rejected for declaring a proto_version above the server's.
+  std::uint64_t version_rejects = 0;
 };
 
 /// Canonical text of a client-assigned id: a JSON string passes through,
@@ -99,8 +131,14 @@ std::string event_frame(const std::string& id, const api::ProgressEvent& event,
 std::string error_frame(const std::string& code, const std::string& message,
                         const std::string* id = nullptr);
 
-std::string ok_frame(const std::string& op, const std::string& id);
+/// Versioned ok frame; `session` >0 adds the session id (open_session's
+/// acknowledgement carries the freshly assigned id).
+std::string ok_frame(const std::string& op, const std::string& id,
+                     std::uint64_t session = 0);
 std::string pong_frame();
+
+/// Connection greeting: the server's protocol version and software name.
+std::string hello_frame();
 
 util::Json to_json(const api::ServiceStats& stats);
 util::Json to_json(const cache::CacheStats& stats);

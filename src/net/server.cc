@@ -66,6 +66,10 @@ struct Connection {
   /// stuck-solver escalation.
   std::unordered_map<std::string, Inflight> inflight;
   bool saw_frame = false;  ///< an NDJSON frame arrived (disables HTTP sniff)
+  bool greeted = false;    ///< hello frame sent (first NDJSON frame only —
+                           ///< HTTP probes must not see a stray JSON line)
+  /// Sessions opened by this connection; closed with it on disconnect.
+  std::unordered_set<std::uint64_t> sessions;
   bool http = false;       ///< HTTP mode: first line consumed, rest ignored
   bool close_after_flush = false;
   bool half_closed = false;  ///< SHUT_WR sent, waiting for the peer's EOF
@@ -206,6 +210,13 @@ void SchedServer::loop() {
     const bool draining =
         stopping || drain_.load(std::memory_order_relaxed);
     if (draining && listen_fd_ != -1) {
+      // Adopt the kernel accept queue before the listener closes: those
+      // peers completed their handshake pre-drain, and closing the
+      // listener would RST them — including a health probe whose GET is
+      // in flight. Accepted here, they land in the not-yet-spoken spare
+      // of the drain sweep below and get their 503 (force_close_at
+      // bounds ones that never speak).
+      accept_ready();
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
@@ -559,6 +570,12 @@ void SchedServer::close_connection(Connection& connection,
     ++orphans;
   }
   connection.inflight.clear();
+  // Sessions are connection-scoped: their server-side state dies with the
+  // connection that opened them.
+  for (const std::uint64_t session : connection.sessions) {
+    service_.close_session(session);
+  }
+  connection.sessions.clear();
   ::close(connection.fd);
   connection.fd = -1;
   connection.dead = true;
@@ -588,6 +605,13 @@ void SchedServer::handle_line(Connection& connection,
     ++counters_.frames_in;
   }
   connection.saw_frame = true;
+  // Greeting: sent once per NDJSON connection, before the first frame's
+  // response. Deferred to here (not accept time) so HTTP probes on the
+  // same port never see a stray JSON line ahead of their response.
+  if (!connection.greeted) {
+    connection.greeted = true;
+    send_frame(connection, hello_frame());
+  }
   util::Json frame;
   try {
     frame = util::Json::parse(line);
@@ -604,11 +628,44 @@ void SchedServer::handle_line(Connection& connection,
                error_frame("bad_request", "frame must be a JSON object"));
     return;
   }
+  // Version gate (DESIGN.md §5): a frame from the future is rejected with
+  // a structured error instead of being half-understood. Undeclared or
+  // older versions process normally — the v2 additions are additive.
+  if (const util::Json* version = frame.find("proto_version")) {
+    long long declared = -1;
+    try {
+      declared = version->as_int();
+    } catch (const std::exception&) {
+      send_frame(connection,
+                 error_frame("bad_request",
+                             "proto_version must be an integer"));
+      return;
+    }
+    if (declared > kProtoVersion) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.version_rejects;
+      }
+      send_frame(connection,
+                 error_frame("unsupported_version",
+                             "frame declares proto_version " +
+                                 std::to_string(declared) +
+                                 " but this server speaks " +
+                                 std::to_string(kProtoVersion)));
+      return;
+    }
+  }
   const std::string type = frame.string_or("type", "");
   if (type == "submit") {
     handle_submit(connection, frame);
   } else if (type == "cancel") {
     handle_cancel(connection, frame);
+  } else if (type == "open_session") {
+    handle_open_session(connection, frame);
+  } else if (type == "delta") {
+    handle_delta(connection, frame);
+  } else if (type == "close_session") {
+    handle_close_session(connection, frame);
   } else if (type == "stats") {
     send_frame(connection, stats_frame(service_.stats(),
                                        service_.cache_stats(), counters()));
@@ -819,6 +876,219 @@ void SchedServer::handle_cancel(Connection& connection,
     ++counters_.cancels;
   }
   send_frame(connection, ok_frame("cancel", id));
+}
+
+void SchedServer::handle_open_session(Connection& connection,
+                                      const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  if (id_value == nullptr) {
+    send_frame(connection,
+               error_frame("bad_request", "open_session requires an \"id\""));
+    return;
+  }
+  std::string id;
+  try {
+    id = client_id_text(*id_value);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what()));
+    return;
+  }
+  if (connection.inflight.count(id) != 0) {
+    send_frame(connection,
+               error_frame("duplicate_id",
+                           "id \"" + id +
+                               "\" is already in flight on this connection",
+                           &id));
+    return;
+  }
+  if (draining()) {
+    send_frame(connection,
+               error_frame("draining",
+                           "server is draining and opens no new sessions",
+                           &id));
+    return;
+  }
+  const util::Json* request_value = frame.find("request");
+  if (request_value == nullptr) {
+    send_frame(connection,
+               error_frame("bad_request",
+                           "open_session requires a \"request\"", &id));
+    return;
+  }
+  api::SolveRequest request;
+  online::SessionOptions tuning;
+  try {
+    request = api::solve_request_from_json(*request_value);
+    if (const util::Json* regret = frame.find("regret_bound")) {
+      tuning.regret_bound = regret->as_number();
+      if (!(tuning.regret_bound >= 0.0)) {
+        throw std::runtime_error("regret_bound must be >= 0");
+      }
+    }
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what(), &id));
+    return;
+  }
+  const bool want_progress = frame.bool_or("progress", false);
+  const bool want_schedule = frame.bool_or("schedule", true);
+  std::shared_ptr<Sink> sink = connection.sink;
+  request.on_progress = [sink, id, want_progress,
+                         want_schedule](const api::ProgressEvent& event) {
+    const bool terminal = event.kind == api::ProgressKind::Finished;
+    if (!terminal && !want_progress) return;
+    const std::string frame_text =
+        event_frame(id, event, want_schedule);
+    int wake_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(sink->mutex);
+      if (!sink->alive) return;
+      sink->frames.push_back(frame_text);
+      if (terminal) sink->finished.push_back(id);
+      wake_fd = sink->wake_fd;
+    }
+    if (wake_fd != -1) {
+      const char byte = 1;
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+    }
+  };
+  try {
+    api::SchedulingService::SessionOpening opening =
+        service_.open_session(std::move(request), std::move(tuning));
+    // The ok frame (with the assigned session id) precedes every event of
+    // the initial solve: it goes straight to the outbound buffer while the
+    // events wait on the sink until the pump below.
+    send_frame(connection, ok_frame("open_session", id, opening.session));
+    connection.sessions.insert(opening.session);
+    // Session ops ignore cancellation tokens, so no timeout escalation.
+    connection.inflight.emplace(
+        id, Inflight{std::move(opening.initial), std::nullopt});
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.session_opens;
+  } catch (const std::invalid_argument& error) {
+    const std::string code = std::string(error.what()).find("solver") !=
+                                     std::string::npos
+                                 ? "unknown_solver"
+                                 : "bad_request";
+    send_frame(connection, error_frame(code, error.what(), &id));
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what(), &id));
+  }
+  pump_sink(connection);
+}
+
+void SchedServer::handle_delta(Connection& connection,
+                               const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  if (id_value == nullptr) {
+    send_frame(connection,
+               error_frame("bad_request", "delta requires an \"id\""));
+    return;
+  }
+  std::string id;
+  try {
+    id = client_id_text(*id_value);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what()));
+    return;
+  }
+  if (connection.inflight.count(id) != 0) {
+    send_frame(connection,
+               error_frame("duplicate_id",
+                           "id \"" + id +
+                               "\" is already in flight on this connection",
+                           &id));
+    return;
+  }
+  if (draining()) {
+    send_frame(connection,
+               error_frame("draining",
+                           "server is draining and accepts no new deltas",
+                           &id));
+    return;
+  }
+  api::DeltaRequest request;
+  try {
+    request = api::delta_request_from_json(frame);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what(), &id));
+    return;
+  }
+  // Ownership check: a connection may only mutate sessions it opened. This
+  // also catches ids from closed connections, whose sessions died with them.
+  if (connection.sessions.count(request.session) == 0) {
+    send_frame(connection,
+               error_frame("unknown_session",
+                           "session " + std::to_string(request.session) +
+                               " is not open on this connection",
+                           &id));
+    return;
+  }
+  const bool want_progress = frame.bool_or("progress", false);
+  const bool want_schedule = frame.bool_or("schedule", true);
+  std::shared_ptr<Sink> sink = connection.sink;
+  request.on_progress = [sink, id, want_progress,
+                         want_schedule](const api::ProgressEvent& event) {
+    const bool terminal = event.kind == api::ProgressKind::Finished;
+    if (!terminal && !want_progress) return;
+    const std::string frame_text =
+        event_frame(id, event, want_schedule);
+    int wake_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(sink->mutex);
+      if (!sink->alive) return;
+      sink->frames.push_back(frame_text);
+      if (terminal) sink->finished.push_back(id);
+      wake_fd = sink->wake_fd;
+    }
+    if (wake_fd != -1) {
+      const char byte = 1;
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+    }
+  };
+  api::SolveHandle handle = service_.submit(std::move(request));
+  connection.inflight.emplace(id, Inflight{std::move(handle), std::nullopt});
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.session_deltas;
+  }
+  pump_sink(connection);
+}
+
+void SchedServer::handle_close_session(Connection& connection,
+                                       const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  std::string id;
+  std::uint64_t session = 0;
+  try {
+    if (id_value == nullptr) {
+      throw std::runtime_error("close_session requires an \"id\"");
+    }
+    id = client_id_text(*id_value);
+    const util::Json* session_value = frame.find("session");
+    if (session_value == nullptr) {
+      throw std::runtime_error("close_session requires a \"session\"");
+    }
+    const long long raw = session_value->as_int();
+    if (raw <= 0) throw std::runtime_error("session must be a positive id");
+    session = static_cast<std::uint64_t>(raw);
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what()));
+    return;
+  }
+  if (connection.sessions.erase(session) == 0) {
+    send_frame(connection,
+               error_frame("unknown_session",
+                           "session " + std::to_string(session) +
+                               " is not open on this connection",
+                           &id));
+    return;
+  }
+  service_.close_session(session);
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.session_closes;
+  }
+  send_frame(connection, ok_frame("close_session", id, session));
 }
 
 }  // namespace bagsched::net

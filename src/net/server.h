@@ -126,6 +126,11 @@ class SchedServer {
   void handle_http(detail::Connection& connection, const std::string& line);
   void handle_submit(detail::Connection& connection, const util::Json& frame);
   void handle_cancel(detail::Connection& connection, const util::Json& frame);
+  void handle_open_session(detail::Connection& connection,
+                           const util::Json& frame);
+  void handle_delta(detail::Connection& connection, const util::Json& frame);
+  void handle_close_session(detail::Connection& connection,
+                            const util::Json& frame);
   void send_frame(detail::Connection& connection, std::string frame);
   void wake();
 

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/api.h"
+#include "model/delta.h"
 #include "net/client.h"
 #include "net/framing.h"
 #include "net/protocol.h"
@@ -559,6 +561,103 @@ TEST(NetServerTest, DrainCancelsOverdueSolvesAfterTheGracePeriod) {
   }
   EXPECT_TRUE(cancelled);
   client.close();
+  server.wait();
+}
+
+// --- Protocol v2: hello, versioning, sessions ------------------------------
+
+TEST(NetServerTest, HelloHandshakeExposesTheServerProtoVersion) {
+  SchedServer server(test_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  EXPECT_EQ(client.server_proto_version(), 0);  // nothing read yet
+  client.send_line("{\"type\":\"ping\"}");
+  auto frame = client.read_frame();
+  ASSERT_TRUE(frame.has_value());
+  // The greeting is swallowed by the client (recorded, not surfaced), so
+  // the first visible frame is still the pong a v1 caller expects.
+  EXPECT_EQ(frame->string_or("type", ""), "pong");
+  EXPECT_EQ(client.server_proto_version(), net::kProtoVersion);
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, FramesFromTheFutureAreRejectedStructurally) {
+  SchedServer server(test_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  client.send_line("{\"type\":\"ping\",\"proto_version\":99}");
+  auto frame = client.read_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->string_or("type", ""), "error");
+  EXPECT_EQ(frame->string_or("code", ""), "unsupported_version");
+  // Declaring the server's own version (or none) proceeds normally.
+  client.send_line("{\"type\":\"ping\",\"proto_version\":" +
+                   std::to_string(net::kProtoVersion) + "}");
+  frame = client.read_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->string_or("type", ""), "pong");
+  EXPECT_EQ(server.counters().version_rejects, 1u);
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, SessionOpenDeltaCloseOverTheWire) {
+  SchedServer server(test_config());
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+
+  const auto request = quick_request(9);
+  const auto session = client.open_session(request, "open-1");
+  ASSERT_GE(session.id, 1u);
+  ASSERT_TRUE(session.initial.ok()) << session.initial.error;
+  EXPECT_TRUE(session.initial.schedule_feasible);
+
+  // Apply a delta: one arrival into a fresh bag (always feasible).
+  model::Delta delta;
+  delta.arrivals.push_back(
+      model::JobArrival{0.5, request.instance->num_bags()});
+  const auto repaired = client.delta(session.id, delta, "d-1");
+  ASSERT_TRUE(repaired.ok()) << repaired.error;
+  EXPECT_EQ(repaired.schedule.num_jobs(),
+            request.instance->num_jobs() + 1);
+  EXPECT_GE(repaired.moved_jobs, 0);
+  EXPECT_LE(repaired.migration_ratio, 1.0);
+
+  // A session id this connection never opened is a structured error.
+  EXPECT_THROW(client.delta(session.id + 100, delta, "d-bad"),
+               std::runtime_error);
+
+  client.close_session(session.id, "close-1");
+  EXPECT_THROW(client.delta(session.id, delta, "d-late"),
+               std::runtime_error);
+
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.session_opens, 1u);
+  EXPECT_EQ(counters.session_closes, 1u);
+  EXPECT_GE(counters.session_deltas, 1u);
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, SessionsDieWithTheirConnection) {
+  SchedServer server(test_config());
+  server.start();
+  {
+    auto client = Client::connect("127.0.0.1", server.port());
+    const auto session = client.open_session(quick_request(4), "s");
+    ASSERT_TRUE(session.initial.ok());
+    EXPECT_EQ(server.service().stats().open_sessions, 1u);
+    client.abort();  // RST, no close_session
+  }
+  // The poll loop notices the disconnect and closes the orphaned session.
+  bool closed = false;
+  for (int i = 0; i < 100 && !closed; ++i) {
+    closed = server.service().stats().open_sessions == 0;
+    if (!closed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(closed);
+  server.stop();
   server.wait();
 }
 

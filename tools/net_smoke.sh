@@ -39,11 +39,30 @@ echo "server up on port $port"
 "$BUILD/instance_tool" solve "$work/smoke.instance" 0.4 greedy-bags \
   --connect "127.0.0.1:$port" --json >"$work/result.json"
 "$BUILD/instance_tool" jsoncheck "$work/result.json"
-# Prometheus endpoint reflects both solves.
+# Online session over the wire (protocol v2): open a session, stream two
+# deltas through it, and check the per-delta report mentions a repair path
+# and a migration count.
+printf '{"arrivals":[{"size":0.9,"bag":0}],"departures":[1]}' \
+  >"$work/delta1.json"
+printf '{"machines_added":1,"resizes":[{"job":2,"size":1.25}]}' \
+  >"$work/delta2.json"
+"$BUILD/instance_tool" delta "$work/smoke.instance" 0.4 \
+  "$work/delta1.json" "$work/delta2.json" \
+  --connect "127.0.0.1:$port" >"$work/delta.out"
+grep -q "^session " "$work/delta.out"
+grep -q "moved .* jobs" "$work/delta.out"
+# And as machine-readable JSON.
+"$BUILD/instance_tool" delta "$work/smoke.instance" 0.4 \
+  "$work/delta1.json" --connect "127.0.0.1:$port" --json \
+  >"$work/delta.json"
+"$BUILD/instance_tool" jsoncheck "$work/delta.json"
+
+# Prometheus endpoint reflects the solves and the session traffic.
 "$BUILD/instance_tool" metrics "127.0.0.1:$port" >"$work/metrics.txt"
 grep -q "^bagsched_service_submitted_total 2$" "$work/metrics.txt"
 grep -q "^bagsched_service_finished_total 2$" "$work/metrics.txt"
 grep -q "^bagsched_server_connections_accepted" "$work/metrics.txt"
+grep -q "^bagsched_server_session_opens_total 2$" "$work/metrics.txt"
 
 # Graceful drain: SIGTERM must exit 0 with the drain summary.
 kill -TERM "$server_pid"
