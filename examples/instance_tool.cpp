@@ -6,10 +6,11 @@
 //                     [--threads <n>] [--connect <host:port>] [--portfolio]
 //   $ ./instance_tool delta <in.instance> <eps> <delta.json>...
 //                     [--json] [--regret <r>] [--connect <host:port>]
+//                     [--keep-open]
 //   $ ./instance_tool check <in.instance> <in.schedule>
 //   $ ./instance_tool info <in.instance>
 //   $ ./instance_tool solvers
-//   $ ./instance_tool metrics <host:port>
+//   $ ./instance_tool metrics <host:port> [--recovery]
 //   $ ./instance_tool jsoncheck <file.json>
 //
 // Covers the full user workflow through the unified API: generate a
@@ -20,7 +21,8 @@
 // against an instance, and inspect bounds. With --connect the solve or
 // session runs on a remote sched_server over the NDJSON wire protocol
 // instead of in-process, and `metrics` scrapes a server's Prometheus
-// endpoint.
+// endpoint (`--recovery` narrows it to the durability/session-resume
+// counter families).
 //
 // Each subcommand is its own handler behind a dispatch table; legacy
 // spellings (`portfolio`) remain as deprecation shims that warn on stderr
@@ -51,10 +53,11 @@ int usage() {
       "                [--connect <host:port>] [--portfolio]\n"
       "  instance_tool delta <in.instance> <eps> <delta.json>...\n"
       "                [--json] [--regret <r>] [--connect <host:port>]\n"
+      "                [--keep-open]\n"
       "  instance_tool check <in.instance> <in.schedule>\n"
       "  instance_tool info <in.instance>\n"
       "  instance_tool solvers\n"
-      "  instance_tool metrics <host:port>\n"
+      "  instance_tool metrics <host:port> [--recovery]\n"
       "  instance_tool jsoncheck <file.json>\n"
       "families:";
   for (const auto& family : bagsched::api::instance_families()) {
@@ -79,6 +82,10 @@ struct Flags {
   double deadline_seconds = -1.0;  ///< < 0 = no deadline
   double regret = -1.0;  ///< session regret bound; < 0 = library default
   int threads = 0;  ///< SolveOptions::num_threads (0 = hardware)
+  bool keep_open = false;  ///< delta --connect: skip the clean
+                           ///< session_close, leaving the server to orphan
+                           ///< the session on disconnect (smoke tests use
+                           ///< this to exercise linger + crash recovery)
   std::string connect;  ///< non-empty: solve on a remote sched_server
 };
 
@@ -94,6 +101,8 @@ Flags extract_flags(std::vector<std::string>& args) {
       flags.portfolio = true;
     } else if (args[i] == "--cache-stats") {
       flags.cache_stats = true;
+    } else if (args[i] == "--keep-open") {
+      flags.keep_open = true;
     } else if (args[i] == "--deadline" && i + 1 < args.size()) {
       flags.deadline_seconds = std::stod(args[++i]);
     } else if (args[i] == "--regret" && i + 1 < args.size()) {
@@ -360,7 +369,17 @@ int cmd_delta(std::vector<std::string>& args) {
       }
       ++step;
     }
-    client.close_session(session.id);
+    if (flags.keep_open) {
+      // Deliberately drop the connection without session_close: the
+      // server parks the session in its linger window, and (with a
+      // journal) it survives a crash for resume_session to reclaim.
+      if (!flags.json) {
+        std::cout << "session " << session.id << " epoch " << session.epoch
+                  << " left open\n";
+      }
+    } else {
+      client.close_session(session.id);
+    }
   } else {
     online::SessionOptions tuning;
     tuning.solve = options;
@@ -431,9 +450,43 @@ int cmd_solvers(std::vector<std::string>& args) {
 
 int cmd_metrics(std::vector<std::string>& args) {
   using namespace bagsched;
+  bool recovery_only = false;
+  if (!args.empty() && args.back() == "--recovery") {
+    recovery_only = true;
+    args.pop_back();
+  }
   if (args.size() != 1) return usage();
   const auto [host, port] = net::parse_hostport(args[0]);
-  std::cout << net::fetch_metrics(host, port);
+  const std::string body = net::fetch_metrics(host, port);
+  if (!recovery_only) {
+    std::cout << body;
+    return 0;
+  }
+  // The durability story at a glance: the journal family plus the
+  // session-lifecycle counters resume/orphan/recovery gating adds. A
+  // server running without --journal-dir has no bagsched_journal_*
+  // series, so operators can tell "journaling off" from "journaling
+  // idle" by the families present.
+  const char* const kPrefixes[] = {
+      "bagsched_journal_",
+      "bagsched_server_session_resumes",
+      "bagsched_server_resume_rejects",
+      "bagsched_server_sessions_orphaned",
+      "bagsched_server_orphans_expired",
+      "bagsched_server_recovering_rejects",
+      "bagsched_server_sessions_recovered",
+  };
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    for (const char* prefix : kPrefixes) {
+      if (line.rfind(prefix, 0) == 0) {
+        std::cout << line << "\n";
+        break;
+      }
+    }
+  }
   return 0;
 }
 

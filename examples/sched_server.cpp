@@ -9,16 +9,27 @@
 // `GET /metrics` on the same port. SIGTERM/SIGINT trigger a graceful
 // drain: the listener closes, in-flight solves get --drain-grace seconds
 // to finish, every Finished frame is flushed, and the process exits 0.
+//
+// Durability (--journal-dir, DESIGN.md §8): session opens and committed
+// deltas are appended to a write-ahead journal before they are
+// acknowledged. On boot the journal is replayed — the port is already
+// bound and /healthz answers 503 "recovering" so probes see progress —
+// then the recovered sessions are parked in the --session-linger window
+// for their clients to reclaim with resume_session, and the journal is
+// compacted to a snapshot. SIGHUP snapshots + rotates the journal on a
+// live server.
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
 #include "net/server.h"
+#include "persist/journal.h"
 #include "util/fault.h"
 
 namespace {
@@ -31,6 +42,10 @@ int usage() {
       "                    [--request-budget <seconds>]\n"
       "                    [--stuck-grace <seconds>]\n"
       "                    [--brownout-latency <seconds>]\n"
+      "                    [--journal-dir <dir>] [--fsync <policy>]\n"
+      "                    [--fsync-interval <seconds>]\n"
+      "                    [--snapshot-every <n>]\n"
+      "                    [--session-linger <seconds>]\n"
       "\n"
       "  --port            TCP port (default 0 = ephemeral, printed)\n"
       "  --bind            bind address (default 127.0.0.1)\n"
@@ -50,19 +65,40 @@ int usage() {
       "  --brownout-latency  queue-wait EWMA (seconds) above which new\n"
       "                    submits degrade to bag-lpt answers flagged\n"
       "                    degraded:true (default 0 = disabled)\n"
+      "  --journal-dir     write-ahead journal directory: sessions survive\n"
+      "                    a crash and are replayed on the next boot. The\n"
+      "                    directory must exist, be writable, and not be\n"
+      "                    held by another live server (default: no\n"
+      "                    journal, sessions are in-memory only)\n"
+      "  --fsync           journal durability: always | interval | off\n"
+      "                    (default interval)\n"
+      "  --fsync-interval  seconds between fsyncs under --fsync interval\n"
+      "                    (default 0.1)\n"
+      "  --snapshot-every  compact the journal to a snapshot every N\n"
+      "                    appended records (default 4096)\n"
+      "  --session-linger  seconds a disconnected client's sessions stay\n"
+      "                    resumable before they are closed (default 30\n"
+      "                    with a journal, 0 without)\n"
       "\n"
-      "  GET /healthz on the serving port answers 200 ok / 503 draining.\n"
+      "  GET /healthz answers 200 ok / 503 recovering / 503 draining.\n"
+      "  SIGHUP snapshots + rotates the journal without a restart.\n"
       "  BAGSCHED_FAULTS / BAGSCHED_FAULT_SEED enable deterministic fault\n"
       "  injection for resilience testing (see src/util/fault.h).\n";
   return 2;
 }
 
 // Self-pipe: the signal handler only writes one byte (async-signal-safe);
-// main() blocks on the read end and runs the drain from normal context.
+// main() blocks on the read end and runs the drain (or, for SIGHUP, the
+// snapshot) from normal context. The byte value carries which signal.
 int g_signal_pipe[2] = {-1, -1};
 
 void on_signal(int) {
-  const char byte = 1;
+  const char byte = 1;  // drain + exit
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void on_sighup(int) {
+  const char byte = 2;  // snapshot + rotate the journal, keep serving
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -71,6 +107,9 @@ void on_signal(int) {
 int main(int argc, char** argv) {
   using namespace bagsched;
   net::ServerConfig config;
+  persist::JournalConfig journal_config;
+  bool with_journal = false;
+  double session_linger_seconds = -1.0;  // -1 = pick the default below
   const std::vector<std::string> args(argv + 1, argv + argc);
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -98,6 +137,21 @@ int main(int argc, char** argv) {
         config.stuck_grace_seconds = std::stod(args[++i]);
       } else if (args[i] == "--brownout-latency" && has_value) {
         config.brownout_queue_latency_seconds = std::stod(args[++i]);
+      } else if (args[i] == "--journal-dir" && has_value) {
+        journal_config.dir = args[++i];
+        with_journal = true;
+      } else if (args[i] == "--fsync" && has_value) {
+        journal_config.fsync = persist::fsync_policy_from_string(args[++i]);
+      } else if (args[i] == "--fsync-interval" && has_value) {
+        journal_config.fsync_interval_seconds = std::stod(args[++i]);
+      } else if (args[i] == "--snapshot-every" && has_value) {
+        journal_config.snapshot_every =
+            static_cast<std::size_t>(std::stoul(args[++i]));
+      } else if (args[i] == "--session-linger" && has_value) {
+        session_linger_seconds = std::stod(args[++i]);
+        if (session_linger_seconds < 0.0) {
+          throw std::runtime_error("--session-linger must be >= 0");
+        }
       } else {
         std::cerr << "unknown or incomplete flag: " << args[i] << "\n";
         return usage();
@@ -107,6 +161,12 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error.what() << "\n";
     return usage();
   }
+  // With a journal, orphaned sessions should survive long enough for their
+  // client to reconnect; without one there is nothing durable to resume.
+  config.session_linger_seconds =
+      session_linger_seconds >= 0.0 ? session_linger_seconds
+      : with_journal                ? 30.0
+                                    : 0.0;
 
   if (::pipe(g_signal_pipe) != 0) {
     std::cerr << "error: cannot create signal pipe\n";
@@ -123,19 +183,82 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Open the journal before anything else: a missing, unwritable or locked
+  // --journal-dir must fail fast with a clear message, not after the port
+  // is bound. Declared before the server so it outlives it (the service
+  // holds a raw pointer).
+  std::unique_ptr<persist::SessionJournal> journal;
+  if (with_journal) {
+    try {
+      journal = std::make_unique<persist::SessionJournal>(journal_config);
+    } catch (const std::exception& error) {
+      std::cerr << "error: --journal-dir " << journal_config.dir << ": "
+                << error.what() << "\n";
+      return 2;
+    }
+  }
+
   try {
+    config.service.journal = journal.get();
+    config.start_recovering = journal != nullptr;
     net::SchedServer server(config);
     server.start();
     std::cout << "listening on " << config.bind_address << ":"
               << server.port() << std::endl;
 
+    // Replay happens with the port already bound: probes get their 503
+    // "recovering" (and frames a structured "recovering" error) instead of
+    // a connection refused, so a balancer can tell "booting" from "down".
+    if (journal != nullptr) {
+      const persist::RecoveredState recovered = journal->replay();
+      const std::size_t restored = server.service().restore_sessions(recovered);
+      std::vector<std::uint64_t> orphans;
+      orphans.reserve(restored);
+      for (const persist::RecoveredSession& entry : recovered.sessions) {
+        if (server.service().session_info(entry.session).has_value()) {
+          orphans.push_back(entry.session);
+        }
+      }
+      server.adopt_orphans(orphans);
+      // Compact what was just replayed so the next boot starts from one
+      // snapshot record instead of the whole history.
+      journal->snapshot();
+      server.set_ready();
+      std::cout << "recovered " << restored << " session(s) from "
+                << recovered.records_replayed << " journal record(s)";
+      if (recovered.truncated_bytes > 0) {
+        std::cout << " (truncated " << recovered.truncated_bytes
+                  << " torn byte(s))";
+      }
+      std::cout << std::endl;
+    }
+
     struct sigaction action = {};
     action.sa_handler = on_signal;
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
+    struct sigaction hup = {};
+    hup.sa_handler = on_sighup;
+    ::sigaction(SIGHUP, &hup, nullptr);
 
-    char byte = 0;
-    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    for (;;) {
+      char byte = 0;
+      const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0 || byte != 2) break;  // SIGTERM/SIGINT (or pipe gone)
+      // SIGHUP: snapshot + rotate without a restart — the operator's
+      // "compact now" knob (e.g. before copying the journal off-host).
+      if (journal != nullptr) {
+        try {
+          journal->snapshot();
+          std::cout << "journal rotated: snapshot of "
+                    << journal->stats().live_sessions
+                    << " live session(s)" << std::endl;
+        } catch (const std::exception& error) {
+          std::cerr << "journal rotation failed (journal kept): "
+                    << error.what() << "\n";
+        }
+      }
     }
     std::cout << "draining..." << std::endl;
     server.request_drain();

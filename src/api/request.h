@@ -100,6 +100,14 @@ struct DeltaRequest : RequestBase {
   /// ids resolve the handle with SolveStatus::Error ("unknown session").
   std::uint64_t session = 0;
   model::Delta delta;
+  /// Resend-safe commits: the session revision the client believes it is
+  /// at. Unset → apply unconditionally (the pre-v3 behavior). Set and the
+  /// session is one revision AHEAD with an identical last delta → the
+  /// cached result of that commit is returned instead of re-applying (the
+  /// delta was committed but its ack was lost — the crash/reconnect
+  /// window). Any other mismatch resolves with SolveStatus::Error
+  /// ("revision mismatch"), never a silent double-apply.
+  std::optional<std::uint64_t> expect_revision;
 };
 
 /// Convenience builder: owns a copy of the instance.

@@ -69,6 +69,15 @@ TelemetryValue telemetry_value_from_json(const util::Json& entry) {
   throw std::runtime_error("telemetry: unknown value tag \"" + tag + "\"");
 }
 
+CacheMode cache_mode_from_string(const std::string& text) {
+  if (text == "off") return CacheMode::Off;
+  if (text == "read") return CacheMode::Read;
+  if (text == "read-write") return CacheMode::ReadWrite;
+  throw std::runtime_error("options: unknown cache_mode \"" + text + "\"");
+}
+
+}  // namespace
+
 util::Json options_to_json(const SolveOptions& options) {
   util::Json json = util::Json::object();
   json.set("eps", options.eps);
@@ -83,13 +92,6 @@ util::Json options_to_json(const SolveOptions& options) {
     json.set("cache_mode", to_string(options.cache_mode));
   }
   return json;
-}
-
-CacheMode cache_mode_from_string(const std::string& text) {
-  if (text == "off") return CacheMode::Off;
-  if (text == "read") return CacheMode::Read;
-  if (text == "read-write") return CacheMode::ReadWrite;
-  throw std::runtime_error("options: unknown cache_mode \"" + text + "\"");
 }
 
 SolveOptions options_from_json(const util::Json& json) {
@@ -113,8 +115,6 @@ SolveOptions options_from_json(const util::Json& json) {
   }
   return options;
 }
-
-}  // namespace
 
 util::Json to_json(const Telemetry& telemetry) {
   util::Json json = util::Json::object();
@@ -302,6 +302,10 @@ util::Json to_json(const DeltaRequest& request) {
   util::Json json = util::Json::object();
   json.set("session", static_cast<long long>(request.session));
   json.set("delta", to_json(request.delta));
+  if (request.expect_revision.has_value()) {
+    json.set("expect_revision",
+             static_cast<long long>(*request.expect_revision));
+  }
   if (request.priority != 0) json.set("priority", request.priority);
   if (request.deadline.has_value()) {
     json.set("deadline_seconds",
@@ -317,6 +321,9 @@ DeltaRequest delta_request_from_json(const util::Json& json) {
   request.session = static_cast<std::uint64_t>(json.at("session").as_int());
   if (const util::Json* delta = json.find("delta")) {
     request.delta = delta_from_json(*delta);
+  }
+  if (const util::Json* expect = json.find("expect_revision")) {
+    request.expect_revision = static_cast<std::uint64_t>(expect->as_int());
   }
   request.priority = static_cast<int>(json.int_or("priority", 0));
   if (const util::Json* deadline = json.find("deadline_seconds")) {

@@ -29,6 +29,12 @@ namespace bagsched::api {
 util::Json to_json(const Telemetry& telemetry);
 Telemetry telemetry_from_json(const util::Json& json);
 
+/// SolveOptions round-trip (scalar fields only; tokens/callbacks are
+/// process-local). Exposed for the session journal, which persists a
+/// session's solve configuration alongside its instance.
+util::Json options_to_json(const SolveOptions& options);
+SolveOptions options_from_json(const util::Json& json);
+
 /// `include_schedule=false` drops the per-job assignment (makespan and
 /// telemetry only) for lighter result streams.
 util::Json to_json(const SolveResult& result, bool include_schedule = true);

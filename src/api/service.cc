@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <random>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +11,9 @@
 #include "api/registry.h"
 #include "api/serialize.h"
 #include "model/lower_bounds.h"
+#include "persist/journal.h"
 #include "util/fault.h"
+#include "util/hash.h"
 #include "util/stopwatch.h"
 
 namespace bagsched::api {
@@ -29,6 +32,8 @@ struct RequestState {
   bool session_op = false;    ///< runs on a session FIFO, not the queue
   bool session_open = false;  ///< this op is the session's initial solve
   model::Delta delta;         ///< the delta, when !session_open
+  /// DeltaRequest::expect_revision, carried to the session op.
+  std::optional<std::uint64_t> expect_revision;
 
   // --- Solve-cache participation (immutable after prepare_cache) ---------
   bool cache_enabled = false;   ///< cache_mode != Off and instance is valid
@@ -100,6 +105,14 @@ struct SessionState {
   bool closed = false;  ///< no new ops accepted; drains then retires
   bool failed = false;  ///< the initial solve failed; deltas error out
   std::deque<std::shared_ptr<RequestState>> pending;
+  // --- Resume/durability shadow (guarded by the service mutex; written
+  // by the session's single in-flight op BEFORE it resolves, so whatever
+  // a client was acked is already visible to session_info) --------------
+  std::uint64_t epoch = 0;
+  std::uint64_t revision = 0;
+  std::string last_delta_json;     ///< serialized delta of the last commit
+  SolveResult last_commit_result;  ///< returned again on a duplicate resend
+  std::string digest;              ///< schedule_digest of the last commit
 };
 
 }  // namespace detail
@@ -216,6 +229,8 @@ SchedulingService::SchedulingService(Config config)
     : config_(config), pool_(config.num_threads) {
   max_concurrent_ =
       config_.max_concurrent != 0 ? config_.max_concurrent : pool_.size();
+  std::random_device entropy;
+  boot_nonce_ = (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
   // The deadline watchdog starts lazily on the first deadline-bearing
   // submit — deadline-free services (e.g. the per-call service inside
   // Portfolio::solve) never pay for the extra thread.
@@ -423,6 +438,7 @@ SchedulingService::SessionOpening SchedulingService::open_session(
       throw std::logic_error("SchedulingService: open_session after shutdown");
     }
     session->id = ++next_session_id_;
+    session->epoch = util::mix64(session->id ^ boot_nonce_);
     state->session_id = session->id;
     sessions_.emplace(session->id, session);
     ++sessions_opened_;
@@ -430,6 +446,7 @@ SchedulingService::SessionOpening SchedulingService::open_session(
     ++session_ops_active_;
   }
   opening.session = session->id;
+  opening.epoch = session->epoch;
   state->emit({.kind = ProgressKind::Queued});
   pool_.submit([this, session, state] { run_session_op(session, state); });
   return opening;
@@ -446,6 +463,7 @@ SolveHandle SchedulingService::submit(DeltaRequest request) {
   state->session_op = true;
   state->session_id = request.session;
   state->delta = std::move(request.delta);
+  state->expect_revision = request.expect_revision;
 
   std::shared_ptr<SessionState> session;
   bool start = false;
@@ -482,15 +500,79 @@ SolveHandle SchedulingService::submit(DeltaRequest request) {
 }
 
 bool SchedulingService::close_session(std::uint64_t session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second->closed) return false;
+    it->second->closed = true;
+    ++sessions_closed_;
+    // Queued deltas still resolve; the last one retires the entry (see
+    // pump_session_locked). An idle session retires immediately.
+    if (!it->second->busy && it->second->pending.empty()) sessions_.erase(it);
+  }
+  if (config_.journal != nullptr) {
+    try {
+      config_.journal->record_close(session);
+    } catch (const std::exception&) {
+      // Worst case the next boot recovers an already-closed session; that
+      // wastes memory but corrupts nothing, so a close is never failed
+      // over its journal record.
+    }
+  }
+  return true;
+}
+
+std::optional<SchedulingService::SessionInfo> SchedulingService::session_info(
+    std::uint64_t session) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sessions_.find(session);
-  if (it == sessions_.end() || it->second->closed) return false;
-  it->second->closed = true;
-  ++sessions_closed_;
-  // Queued deltas still resolve; the last one retires the entry (see
-  // pump_session_locked). An idle session retires immediately.
-  if (!it->second->busy && it->second->pending.empty()) sessions_.erase(it);
-  return true;
+  if (it == sessions_.end() || it->second->closed || it->second->failed) {
+    return std::nullopt;
+  }
+  SessionInfo info;
+  info.session = session;
+  info.epoch = it->second->epoch;
+  info.revision = it->second->revision;
+  info.digest = it->second->digest;
+  return info;
+}
+
+std::size_t SchedulingService::restore_sessions(
+    const persist::RecoveredState& recovered) {
+  std::size_t restored = 0;
+  for (const persist::RecoveredSession& entry : recovered.sessions) {
+    auto session = std::make_shared<SessionState>();
+    session->id = entry.session;
+    session->epoch = entry.epoch;
+    session->tuning = entry.tuning;
+    session->initial_instance =
+        std::make_shared<const model::Instance>(entry.instance);
+    try {
+      session->session = std::make_unique<online::ScheduleSession>(
+          entry.instance, entry.schedule, session->tuning);
+    } catch (const std::exception&) {
+      continue;  // journaled as feasible; skip rather than refuse to boot
+    }
+    session->session->restore_revision(entry.revision);
+    session->revision = entry.revision;
+    session->last_delta_json = entry.last_delta_json;
+    session->digest = entry.digest;
+    SolveResult result = session->session->last_result();
+    result.stats["session"] = static_cast<long long>(session->id);
+    result.stats["online.revision"] = static_cast<long long>(entry.revision);
+    result.stats["online.recovered"] = true;
+    session->last_commit_result = std::move(result);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_[session->id] = session;
+    ++sessions_restored_;
+    ++restored;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next_session_id_ < recovered.max_session_id) {
+    next_session_id_ = recovered.max_session_id;
+  }
+  return restored;
 }
 
 void SchedulingService::pump_session_locked(
@@ -516,6 +598,8 @@ void SchedulingService::run_session_op(
   state->emit({.kind = ProgressKind::Started});
   SolveResult result;
   bool failed_open = false;
+  bool duplicate = false;
+  std::uint64_t revision_before = 0;
   if (state->session_open) {
     try {
       session->session = std::make_unique<online::ScheduleSession>(
@@ -533,20 +617,96 @@ void SchedulingService::run_session_op(
     result.error = "unknown session " + std::to_string(session->id) +
                    ": its initial solve failed";
   } else {
-    try {
-      result = session->session->apply(state->delta);
-    } catch (const std::exception& error) {
-      // Malformed delta (unknown job ids, duplicate departures, ...): the
-      // session keeps its previous commit and stays usable.
-      result.status = SolveStatus::Error;
-      result.solver = "online-session";
-      result.error = std::string("invalid delta: ") + error.what();
+    revision_before = session->session->revision();
+    bool mismatch = false;
+    if (state->expect_revision.has_value()) {
+      // Resend-safe commits: a client that lost an ack resubmits with the
+      // revision it last saw. One revision behind with an identical delta
+      // means the commit landed and only the ack was lost — hand back the
+      // cached result instead of double-applying. Anything else is a real
+      // divergence and must fail loudly.
+      const std::string delta_json = to_json(state->delta).dump();
+      if (*state->expect_revision + 1 == revision_before &&
+          delta_json == session->last_delta_json) {
+        duplicate = true;
+      } else if (*state->expect_revision != revision_before) {
+        mismatch = true;
+        result.status = SolveStatus::Error;
+        result.solver = "online-session";
+        result.error = "revision mismatch: session " +
+                       std::to_string(session->id) + " is at revision " +
+                       std::to_string(revision_before) +
+                       ", request expected " +
+                       std::to_string(*state->expect_revision);
+      }
+    }
+    if (duplicate) {
+      result = session->last_commit_result;
+      result.stats["online.duplicate"] = true;
+    } else if (!mismatch) {
+      try {
+        result = session->session->apply(state->delta);
+      } catch (const std::exception& error) {
+        // Malformed delta (unknown job ids, duplicate departures, ...): the
+        // session keeps its previous commit and stays usable.
+        result.status = SolveStatus::Error;
+        result.solver = "online-session";
+        result.error = std::string("invalid delta: ") + error.what();
+      }
     }
   }
+
+  // Durability: journal every commit BEFORE the handle resolves, so an
+  // acked commit is on disk no matter when the process dies (DESIGN.md
+  // §8, "acked ⇒ recovered"). A journal append failure poisons the
+  // session — the client gets an error, not an ack the journal missed —
+  // and the session closes rather than drift from its journal.
+  const bool is_delta = !state->session_open;
+  const bool committed =
+      state->session_open
+          ? !failed_open
+          : (!duplicate && session->session != nullptr &&
+             session->session->revision() != revision_before);
+  bool poisoned = false;
+  if (committed && config_.journal != nullptr) {
+    try {
+      if (state->session_open) {
+        config_.journal->record_open(session->id, session->epoch,
+                                     session->session->instance(),
+                                     session->tuning,
+                                     session->session->schedule());
+      } else {
+        config_.journal->record_commit(
+            session->id, session->session->revision(), state->delta,
+            session->session->schedule(),
+            &session->session->instance());
+      }
+    } catch (const std::exception& error) {
+      poisoned = true;
+      result = SolveResult{};
+      result.status = SolveStatus::Error;
+      result.solver = "online-session";
+      result.error =
+          std::string("journal append failed, session closed: ") +
+          error.what();
+    }
+  }
+
   result.stats["request_id"] = static_cast<long long>(state->id);
   result.stats["session"] = static_cast<long long>(session->id);
 
-  const bool is_delta = !state->session_open;
+  if (committed && !poisoned) {
+    // Publish the resume/dedupe shadow before the ack is visible: a client
+    // that acts on this result must find session_info consistent with it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->revision = session->session->revision();
+    session->digest = persist::schedule_digest(session->session->schedule());
+    if (is_delta) {
+      session->last_delta_json = to_json(state->delta).dump();
+    }
+    session->last_commit_result = result;
+  }
+
   const bool fresh_path =
       stat_str(result.stats, "online.path") == "fresh";
   resolve(state, std::move(result), /*emit_finished=*/true);
@@ -555,16 +715,19 @@ void SchedulingService::run_session_op(
     std::lock_guard<std::mutex> lock(mutex_);
     session->busy = false;
     --session_ops_active_;
-    if (failed_open && !session->closed) {
-      // A session that never committed a schedule cannot serve deltas;
-      // close it so queued ones drain with "unknown session".
+    if ((failed_open || poisoned) && !session->closed) {
+      // A session that never committed a schedule — or whose journal no
+      // longer matches its state — cannot serve deltas; close it so queued
+      // ones drain with "unknown session".
       session->failed = true;
       session->closed = true;
       ++sessions_closed_;
     }
     if (is_delta) {
       ++session_deltas_;
-      if (fresh_path) {
+      if (duplicate) {
+        ++session_duplicates_;
+      } else if (fresh_path) {
         ++session_fresh_;
       } else if (state->result.ok()) {
         ++session_repaired_;
@@ -602,6 +765,8 @@ SchedulingService::Stats SchedulingService::stats() const {
   stats.session_deltas = session_deltas_;
   stats.session_repaired = session_repaired_;
   stats.session_fresh = session_fresh_;
+  stats.sessions_restored = sessions_restored_;
+  stats.session_duplicates = session_duplicates_;
   return stats;
 }
 

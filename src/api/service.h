@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,11 @@
 #include "cache/solve_cache.h"
 #include "online/session.h"
 #include "util/thread_pool.h"
+
+namespace bagsched::persist {
+class SessionJournal;
+struct RecoveredState;
+}  // namespace bagsched::persist
 
 namespace bagsched::api {
 
@@ -98,6 +104,12 @@ struct ServiceConfig {
   /// Canonicalizing solve cache (shards, byte budget). Consulted only by
   /// requests whose SolveOptions::cache_mode is not Off.
   cache::CacheConfig cache;
+  /// Durable session journal (persist/journal.h), not owned; nullptr = no
+  /// durability. When set, every session open/commit/close is appended
+  /// BEFORE its handle resolves (append-before-ack), so an acked commit
+  /// survives a crash. An append failure poisons the session: the op
+  /// resolves with status Error and the session closes.
+  persist::SessionJournal* journal = nullptr;
 };
 
 /// One consistent snapshot: stats() captures every field under a single
@@ -135,6 +147,12 @@ struct ServiceStats {
   std::uint64_t session_repaired = 0;
   /// Deltas that fell through to a fresh portfolio solve.
   std::uint64_t session_fresh = 0;
+  // --- Durability (v3) ---------------------------------------------------
+  /// Sessions re-adopted from the journal at boot (restore_sessions).
+  std::uint64_t sessions_restored = 0;
+  /// Deltas answered from the previous commit via expect_revision dedupe
+  /// (the commit was applied but its ack was lost).
+  std::uint64_t session_duplicates = 0;
 };
 
 class SchedulingService {
@@ -171,6 +189,9 @@ class SchedulingService {
   /// queued deltas then resolve with "unknown session".
   struct SessionOpening {
     std::uint64_t session = 0;
+    /// Resume token: proves to resume_session that a client's session id
+    /// is from THIS journal lineage, not a recycled id of a later boot.
+    std::uint64_t epoch = 0;
     SolveHandle initial;
   };
 
@@ -192,6 +213,26 @@ class SchedulingService {
   /// Closes a session: already-queued deltas still resolve, new ones get
   /// "unknown session". False when the id is unknown (or already closed).
   bool close_session(std::uint64_t session);
+
+  /// What resume_session needs to validate a reconnecting client.
+  struct SessionInfo {
+    std::uint64_t session = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t revision = 0;  ///< committed revisions so far
+    std::string digest;          ///< persist::schedule_digest of the commit
+  };
+
+  /// Snapshot of an OPEN session's resume-relevant state; nullopt when the
+  /// id is unknown or the session is closed/failed.
+  std::optional<SessionInfo> session_info(std::uint64_t session) const;
+
+  /// Re-adopts journal-recovered sessions (boot-time, before traffic).
+  /// Each session comes back with its committed schedule, revision, epoch
+  /// and tuning exactly as journaled — no re-solving. Returns the number
+  /// adopted; sessions whose journaled schedule fails validation are
+  /// skipped defensively. Also advances the session id counter past every
+  /// journaled id so restarted servers never reissue one.
+  std::size_t restore_sessions(const persist::RecoveredState& recovered);
 
   /// Blocks until no request is queued or running.
   void wait_idle();
@@ -261,6 +302,11 @@ class SchedulingService {
   std::uint64_t session_deltas_ = 0;
   std::uint64_t session_repaired_ = 0;
   std::uint64_t session_fresh_ = 0;
+  std::uint64_t sessions_restored_ = 0;
+  std::uint64_t session_duplicates_ = 0;
+  /// Per-boot random nonce mixed into every session epoch, so epochs from
+  /// a previous boot never validate against recycled session ids.
+  std::uint64_t boot_nonce_ = 0;
 
   cache::SolveCache cache_;
   util::ThreadPool pool_;

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "api/serialize.h"
+#include "api/telemetry.h"
 #include "net/protocol.h"
 #include "util/fault.h"
 #include "util/prng.h"
@@ -191,6 +192,13 @@ std::pair<int, std::string> http_get(const std::string& host,
   return {status, response.substr(header_end + 4)};
 }
 
+/// Epoch token off the wire: issued as a decimal string (a u64 does not
+/// survive a JSON double) but an integer is tolerated.
+std::uint64_t epoch_from_json(const util::Json& value) {
+  if (value.is_string()) return std::stoull(value.as_string());
+  return static_cast<std::uint64_t>(value.as_int());
+}
+
 }  // namespace
 
 Client::Client(Client&& other) noexcept
@@ -355,6 +363,9 @@ Client::Session Client::open_session(const api::SolveRequest& request,
     if (type == "ok" && reply->string_or("op", "") == "open_session" &&
         reply->string_or("id", "") == id) {
       session.id = static_cast<std::uint64_t>(reply->at("session").as_int());
+      if (const util::Json* epoch = reply->find("epoch")) {
+        session.epoch = epoch_from_json(*epoch);
+      }
       break;
     }
   }
@@ -362,16 +373,58 @@ Client::Session Client::open_session(const api::SolveRequest& request,
   return session;
 }
 
+Client::Resumed Client::resume_session(std::uint64_t session,
+                                       std::uint64_t epoch,
+                                       const std::string& id,
+                                       double read_timeout_seconds) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "resume_session");
+  frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("session", session);
+  frame.set("epoch", std::to_string(epoch));
+  send_line(frame.dump());
+  for (;;) {
+    auto reply = read_frame(read_timeout_seconds);
+    if (!reply.has_value()) {
+      throw ConnectionError(
+          "server closed the connection before the resume was acknowledged");
+    }
+    const std::string type = reply->string_or("type", "");
+    if (type == "error" && reply->string_or("id", "") == id) {
+      throw std::runtime_error(reply->string_or("code", "") + ": " +
+                               reply->string_or("message", ""));
+    }
+    if (type == "ok" && reply->string_or("op", "") == "resume_session" &&
+        reply->string_or("id", "") == id) {
+      Resumed resumed;
+      resumed.session =
+          static_cast<std::uint64_t>(reply->at("session").as_int());
+      if (const util::Json* token = reply->find("epoch")) {
+        resumed.epoch = epoch_from_json(*token);
+      }
+      resumed.revision = static_cast<std::uint64_t>(
+          reply->find("revision") ? reply->at("revision").as_int() : 0);
+      resumed.digest = reply->string_or("digest", "");
+      return resumed;
+    }
+  }
+}
+
 api::SolveResult Client::delta(std::uint64_t session,
                                const model::Delta& delta,
                                const std::string& id, bool want_schedule,
-                               double read_timeout_seconds) {
+                               double read_timeout_seconds,
+                               std::optional<std::uint64_t> expect_revision) {
   util::Json frame = util::Json::object();
   frame.set("type", "delta");
   frame.set("id", id);
   frame.set("proto_version", static_cast<long long>(kProtoVersion));
   frame.set("session", session);
   frame.set("delta", api::to_json(delta));
+  if (expect_revision.has_value()) {
+    frame.set("expect_revision", static_cast<long long>(*expect_revision));
+  }
   if (!want_schedule) frame.set("schedule", false);
   send_line(frame.dump());
   return await_result(id, {}, read_timeout_seconds);
@@ -536,6 +589,151 @@ api::SolveResult RetryingClient::solve(const api::SolveRequest& request,
     if (attempt == 1) --stats_.resubmits;  // never counted a first submit
     backoff(attempt, id);
   }
+}
+
+void RetryingClient::ensure_session(const std::string& id) {
+  if (!client_.connected()) {
+    const bool reconnect = session_ != 0;
+    client_ =
+        Client::connect(host_, port_, policy_.connect_timeout_seconds);
+    if (reconnect) ++stats_.reconnects;
+  }
+  if (session_ == 0 || session_claimed_) return;
+  try {
+    const Client::Resumed resumed = client_.resume_session(
+        session_, epoch_, "resume-" + id, policy_.read_timeout_seconds);
+    revision_ = resumed.revision;
+    session_claimed_ = true;
+    ++stats_.resumes;
+  } catch (const ConnectionError&) {
+    throw;  // retryable; the caller's loop reconnects
+  } catch (const TimedOut&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    // A structured refusal (unknown_session / stale_epoch / session_owned):
+    // the server genuinely lost the session, so stop tracking it — further
+    // deltas must fail loudly instead of retrying forever.
+    session_ = 0;
+    epoch_ = 0;
+    session_claimed_ = false;
+    throw;
+  }
+}
+
+Client::Session RetryingClient::open_session(const api::SolveRequest& request,
+                                             const std::string& id,
+                                             double regret_bound,
+                                             bool want_schedule) {
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    bool submitted = false;
+    try {
+      if (!client_.connected()) {
+        client_ =
+            Client::connect(host_, port_, policy_.connect_timeout_seconds);
+        if (attempt > 1) ++stats_.reconnects;
+      }
+      if (attempt > 1) ++stats_.resubmits;
+      submitted = true;
+      Client::Session opened =
+          client_.open_session(request, id, regret_bound, want_schedule,
+                               policy_.read_timeout_seconds);
+      // A previous attempt may have opened a session whose ok was lost;
+      // that orphan expires via the server's linger window. Track the one
+      // whose acknowledgement we actually hold.
+      session_ = opened.id;
+      epoch_ = opened.epoch;
+      revision_ = 0;
+      session_claimed_ = true;
+      if (attempt > 1) ++stats_.recovered;
+      return opened;
+    } catch (const TimedOut&) {
+      ++stats_.timeouts;
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) throw;
+      if (submitted && !policy_.resubmit) throw;
+    } catch (const ConnectionError&) {
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) throw;
+      if (submitted && !policy_.resubmit) throw;
+    }
+    if (attempt == 1) --stats_.resubmits;  // never counted a first submit
+    backoff(attempt, id);
+  }
+}
+
+api::SolveResult RetryingClient::delta(const model::Delta& delta,
+                                       const std::string& id,
+                                       bool want_schedule) {
+  if (session_ == 0) {
+    throw std::runtime_error("RetryingClient: no session open");
+  }
+  // The commit this call is trying to land sits at expect+1. The token is
+  // pinned BEFORE the first attempt: a resume mid-retry reports the
+  // server's revision, which already includes this delta when the lost ack
+  // actually committed — resending with the pinned token then hits the
+  // server's commit cache instead of applying twice.
+  const std::uint64_t expect = revision_;
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    try {
+      ensure_session(id);
+      if (attempt > 1) ++stats_.resubmits;
+      api::SolveResult result =
+          client_.delta(session_, delta, id, want_schedule,
+                        policy_.read_timeout_seconds, expect);
+      if (api::stat_bool(result.stats, "online.duplicate")) {
+        ++stats_.duplicate_acks;
+      }
+      revision_ = static_cast<std::uint64_t>(
+          api::stat_int(result.stats, "online.revision",
+                        static_cast<long long>(revision_)));
+      if (attempt > 1) ++stats_.recovered;
+      return result;
+    } catch (const TimedOut&) {
+      ++stats_.timeouts;
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) throw;
+      if (!policy_.resubmit) throw;
+    } catch (const ConnectionError&) {
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) throw;
+      if (!policy_.resubmit) throw;
+    }
+    if (attempt == 1) --stats_.resubmits;
+    backoff(attempt, id);
+  }
+}
+
+void RetryingClient::close_session(const std::string& id) {
+  if (session_ == 0) return;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    try {
+      ensure_session(id);
+      client_.close_session(session_, id, policy_.read_timeout_seconds);
+      break;
+    } catch (const TimedOut&) {
+      ++stats_.timeouts;
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) break;
+    } catch (const ConnectionError&) {
+      client_.close();
+      session_claimed_ = false;
+      if (attempt >= policy_.max_attempts) break;
+    } catch (const std::runtime_error&) {
+      break;  // already gone server-side — that IS closed
+    }
+    backoff(attempt, id);
+  }
+  session_ = 0;
+  epoch_ = 0;
+  revision_ = 0;
+  session_claimed_ = false;
 }
 
 std::string fetch_metrics(const std::string& host, std::uint16_t port) {

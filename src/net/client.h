@@ -98,11 +98,22 @@ class Client {
   /// until the first frame has been read (v1 servers never send one).
   int server_proto_version() const { return server_proto_version_; }
 
-  /// An open schedule session: the server-assigned id plus the initial
-  /// solve's result.
+  /// An open schedule session: the server-assigned id, its epoch token
+  /// (v3 — needed to resume the session after a reconnect; 0 against a v2
+  /// server) and the initial solve's result.
   struct Session {
     std::uint64_t id = 0;
+    std::uint64_t epoch = 0;
     api::SolveResult initial;
+  };
+
+  /// Acknowledgement of a resume_session (v3): where the server says the
+  /// session is, so the client can reconcile before its next delta.
+  struct Resumed {
+    std::uint64_t session = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t revision = 0;
+    std::string digest;  ///< committed schedule digest ("" on a v2 server)
   };
 
   /// Opens a schedule session (v2): sends open_session, awaits the ok
@@ -114,13 +125,25 @@ class Client {
                        double regret_bound = -1.0, bool want_schedule = true,
                        double read_timeout_seconds = 0.0);
 
+  /// Reclaims an orphaned (or journal-restored) session on this connection
+  /// (v3): sends resume_session with the epoch token from open_session and
+  /// awaits the ok frame. Error frames for this id — unknown_session,
+  /// stale_epoch, session_owned, draining — throw std::runtime_error.
+  Resumed resume_session(std::uint64_t session, std::uint64_t epoch,
+                         const std::string& id = "r1",
+                         double read_timeout_seconds = 0.0);
+
   /// Applies a delta to an open session and returns the repaired result
   /// (migration fields filled). Error frames for this id — including
-  /// unknown_session — throw std::runtime_error.
-  api::SolveResult delta(std::uint64_t session, const model::Delta& delta,
-                         const std::string& id = "d1",
-                         bool want_schedule = true,
-                         double read_timeout_seconds = 0.0);
+  /// unknown_session — throw std::runtime_error. `expect_revision` (v3)
+  /// makes the commit idempotent across a reconnect: the revision the
+  /// client last saw committed — a resend whose first copy already landed
+  /// is answered from the server's commit cache instead of re-applied.
+  api::SolveResult delta(
+      std::uint64_t session, const model::Delta& delta,
+      const std::string& id = "d1", bool want_schedule = true,
+      double read_timeout_seconds = 0.0,
+      std::optional<std::uint64_t> expect_revision = std::nullopt);
 
   /// Closes a session and awaits the acknowledgement.
   void close_session(std::uint64_t session, const std::string& id = "c1",
@@ -181,6 +204,9 @@ struct RetryStats {
   std::uint64_t resubmits = 0;   ///< submits re-sent after a failure
   std::uint64_t timeouts = 0;    ///< TimedOut errors absorbed
   std::uint64_t recovered = 0;   ///< solves that succeeded after >=1 retry
+  std::uint64_t resumes = 0;     ///< sessions reclaimed via resume_session
+  std::uint64_t duplicate_acks = 0;  ///< resent deltas answered from the
+                                     ///< server's commit cache
 };
 
 /// A Client wrapper that survives flaky transport: connect and reads are
@@ -202,18 +228,56 @@ class RetryingClient {
                          const api::ProgressFn& on_progress = {},
                          bool want_schedule = true);
 
+  // --- Durable session (v3). One session per RetryingClient: the wrapper
+  // remembers its id, epoch token and last committed revision, and a
+  // transport failure mid-delta triggers reconnect → resume_session →
+  // resubmission with expect_revision, so a commit whose ack was lost is
+  // answered from the server's commit cache instead of applied twice.
+
+  /// Opens the tracked session (retried under the policy).
+  Client::Session open_session(const api::SolveRequest& request,
+                               const std::string& id = "s1",
+                               double regret_bound = -1.0,
+                               bool want_schedule = true);
+  /// Delta against the tracked session with reconnect-and-resume. Throws
+  /// std::runtime_error when no session is open, the last transport error
+  /// when attempts are exhausted, and protocol errors as-is (a
+  /// stale_epoch/unknown_session on resume ends the session: the server
+  /// genuinely lost it).
+  api::SolveResult delta(const model::Delta& delta,
+                         const std::string& id = "d1",
+                         bool want_schedule = true);
+  /// Closes the tracked session (best-effort: transport failures after
+  /// retries are swallowed — an unreachable server reaps the session via
+  /// its linger window anyway).
+  void close_session(const std::string& id = "c1");
+
+  /// The tracked session's id (0 = none open), epoch token and the last
+  /// revision this client saw committed.
+  std::uint64_t session() const { return session_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t revision() const { return revision_; }
+
   const RetryStats& stats() const { return stats_; }
   bool connected() const { return client_.connected(); }
   void close() { client_.close(); }
 
  private:
   void backoff(int attempt, const std::string& id);
+  /// Ensure client_ is connected and, when a session is tracked but this
+  /// connection has not claimed it yet, resume it. Returns false when the
+  /// reconnect/resume failed on a retryable transport error.
+  void ensure_session(const std::string& id);
 
   std::string host_;
   std::uint16_t port_ = 0;
   RetryPolicy policy_;
   Client client_;
   RetryStats stats_;
+  std::uint64_t session_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t revision_ = 0;
+  bool session_claimed_ = false;  ///< current connection owns the session
 };
 
 /// One-shot `GET /metrics` scrape; returns the Prometheus text body.

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "persist/journal.h"
+
 namespace bagsched::net {
 
 namespace {
@@ -39,7 +41,8 @@ void metric(std::string& out, const char* name, const char* type,
 
 std::string prometheus_text(const api::ServiceStats& service,
                             const cache::CacheStats& cache,
-                            const ServerCounters& server) {
+                            const ServerCounters& server,
+                            const persist::JournalStats* journal) {
   std::string out;
   out.reserve(4096);
   // --- SchedulingService ---------------------------------------------------
@@ -77,6 +80,12 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_service_session_fresh_total", "counter",
          "Deltas that fell through to a fresh portfolio solve",
          service.session_fresh);
+  metric(out, "bagsched_service_sessions_restored_total", "counter",
+         "Sessions re-adopted from the journal at boot",
+         service.sessions_restored);
+  metric(out, "bagsched_service_session_duplicates_total", "counter",
+         "Deltas answered from the commit cache via expect_revision",
+         service.session_duplicates);
   // --- SolveCache ----------------------------------------------------------
   metric(out, "bagsched_cache_hits_total", "counter", "Solve-cache lookup hits",
          cache.hits);
@@ -138,6 +147,47 @@ std::string prometheus_text(const api::ServiceStats& service,
   metric(out, "bagsched_server_version_rejects_total", "counter",
          "Frames rejected for declaring a newer proto_version",
          server.version_rejects);
+  metric(out, "bagsched_server_session_resumes_total", "counter",
+         "Sessions reclaimed via resume_session", server.session_resumes);
+  metric(out, "bagsched_server_resume_rejects_total", "counter",
+         "resume_session frames refused", server.resume_rejects);
+  metric(out, "bagsched_server_sessions_orphaned_total", "counter",
+         "Sessions parked in the linger window after a disconnect",
+         server.sessions_orphaned);
+  metric(out, "bagsched_server_orphans_expired_total", "counter",
+         "Orphaned sessions closed because nobody resumed them",
+         server.orphans_expired);
+  metric(out, "bagsched_server_recovering_rejects_total", "counter",
+         "Frames refused while the journal replayed",
+         server.recovering_rejects);
+  // --- Journal (only when sched_server runs with --journal-dir) -----------
+  if (journal != nullptr) {
+    metric(out, "bagsched_journal_records_appended_total", "counter",
+           "Records appended to the write-ahead journal",
+           journal->records_appended);
+    metric(out, "bagsched_journal_bytes_appended_total", "counter",
+           "Payload bytes appended to the journal", journal->bytes_appended);
+    metric(out, "bagsched_journal_fsyncs_total", "counter",
+           "fsync calls issued by the journal", journal->fsyncs);
+    metric(out, "bagsched_journal_snapshots_total", "counter",
+           "Snapshot compactions completed", journal->snapshots);
+    metric(out, "bagsched_journal_snapshot_failures_total", "counter",
+           "Snapshot compactions abandoned (old journal kept)",
+           journal->snapshot_failures);
+    metric(out, "bagsched_journal_records_replayed_total", "counter",
+           "Records replayed from the journal at boot",
+           journal->records_replayed);
+    metric(out, "bagsched_journal_sessions_recovered_total", "counter",
+           "Sessions reconstructed from the journal at boot",
+           journal->sessions_recovered);
+    metric(out, "bagsched_journal_truncated_bytes_total", "counter",
+           "Torn-tail bytes truncated at journal open",
+           journal->truncated_bytes);
+    metric(out, "bagsched_journal_live_sessions", "gauge",
+           "Sessions the journal currently tracks", journal->live_sessions);
+    metric(out, "bagsched_journal_bytes", "gauge",
+           "Journal file size in bytes", journal->journal_bytes);
+  }
   return out;
 }
 

@@ -11,12 +11,19 @@
 
 #include "net/protocol.h"
 
+namespace bagsched::persist {
+struct JournalStats;
+}  // namespace bagsched::persist
+
 namespace bagsched::net {
 
-/// The full exposition document (HELP/TYPE lines included).
+/// The full exposition document (HELP/TYPE lines included). `journal`
+/// (optional — sched_server passes it when --journal-dir is set) adds the
+/// write-ahead journal's append/fsync/snapshot/recovery gauges.
 std::string prometheus_text(const api::ServiceStats& service,
                             const cache::CacheStats& cache,
-                            const ServerCounters& server);
+                            const ServerCounters& server,
+                            const persist::JournalStats* journal = nullptr);
 
 /// Minimal HTTP/1.0 response envelope (Content-Length + close).
 std::string http_response(int status, const std::string& content_type,

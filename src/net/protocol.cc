@@ -70,6 +70,22 @@ std::string ok_frame(const std::string& op, const std::string& id,
   return frame.dump();
 }
 
+std::string session_ok_frame(const std::string& op, const std::string& id,
+                             std::uint64_t session, std::uint64_t epoch,
+                             std::uint64_t revision,
+                             const std::string& digest) {
+  util::Json frame = util::Json::object();
+  frame.set("type", "ok");
+  frame.set("op", op);
+  frame.set("id", id);
+  frame.set("proto_version", static_cast<long long>(kProtoVersion));
+  frame.set("session", session);
+  frame.set("epoch", std::to_string(epoch));
+  frame.set("revision", revision);
+  if (!digest.empty()) frame.set("digest", digest);
+  return frame.dump();
+}
+
 std::string pong_frame() {
   util::Json frame = util::Json::object();
   frame.set("type", "pong");
@@ -95,6 +111,14 @@ util::Json to_json(const api::ServiceStats& stats) {
   json.set("cache_rounded_hits", stats.cache_rounded_hits);
   json.set("dedup_shared", stats.dedup_shared);
   json.set("queue_wait_ewma_seconds", stats.queue_wait_ewma_seconds);
+  json.set("sessions_opened", stats.sessions_opened);
+  json.set("sessions_closed", stats.sessions_closed);
+  json.set("open_sessions", static_cast<std::uint64_t>(stats.open_sessions));
+  json.set("session_deltas", stats.session_deltas);
+  json.set("session_repaired", stats.session_repaired);
+  json.set("session_fresh", stats.session_fresh);
+  json.set("sessions_restored", stats.sessions_restored);
+  json.set("session_duplicates", stats.session_duplicates);
   return json;
 }
 
@@ -132,6 +156,11 @@ util::Json to_json(const ServerCounters& counters) {
   json.set("session_deltas", counters.session_deltas);
   json.set("session_closes", counters.session_closes);
   json.set("version_rejects", counters.version_rejects);
+  json.set("session_resumes", counters.session_resumes);
+  json.set("resume_rejects", counters.resume_rejects);
+  json.set("sessions_orphaned", counters.sessions_orphaned);
+  json.set("orphans_expired", counters.orphans_expired);
+  json.set("recovering_rejects", counters.recovering_rejects);
   return json;
 }
 

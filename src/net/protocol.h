@@ -5,8 +5,10 @@
 //   {"type":"submit","id":ID,"request":{...},"progress":B,"schedule":B}
 //   {"type":"open_session","id":ID,"request":{...},"schedule":B
 //    [,"regret_bound":R]}                              — v2
-//   {"type":"delta","id":ID,"session":S,"delta":{...},"schedule":B} — v2
+//   {"type":"delta","id":ID,"session":S,"delta":{...},"schedule":B
+//    [,"expect_revision":R]}                           — v2 (+R: v3)
 //   {"type":"close_session","id":ID,"session":S}                    — v2
+//   {"type":"resume_session","id":ID,"session":S,"epoch":"E"}       — v3
 //   {"type":"cancel","id":ID}
 //   {"type":"stats"}
 //   {"type":"ping"}
@@ -19,7 +21,8 @@
 //    finished",...}                       — streamed request lifecycle
 //   {"type":"error","code":C,"message":M[,"id":ID]}   — structured errors
 //   {"type":"stats","service":{...},"cache":{...},"server":{...}}
-//   {"type":"ok","op":OP,"id":ID,"proto_version":V[,"session":S]}
+//   {"type":"ok","op":OP,"id":ID,"proto_version":V[,"session":S]
+//    [,"epoch":"E","revision":R,"digest":D]}  — session fields: v3
 //   {"type":"pong"}
 //
 // ID is client-assigned (a JSON string or integer, canonicalized to its
@@ -34,9 +37,15 @@
 // "unsupported_version" error and processes undeclared or older versions
 // as today — new response fields are additive and unknown frame types are
 // skipped by v1 clients, so old clients keep working against new servers.
-// Session frames require a v2 server; sessions are scoped to their
-// connection and are closed (their server-side state dropped) when it
-// disconnects.
+// Session frames require a v2 server. Up to v2, sessions were scoped to
+// their connection and died with it; from v3 sessions are server-scoped:
+// a disconnect orphans them for a configurable linger window, during
+// which a client presenting the session's epoch token (issued verbatim —
+// as a decimal string — in open_session's ok frame) can reclaim them
+// with resume_session. The resume ok echoes the committed revision and
+// schedule digest so the client can verify where the session is before
+// continuing, and delta frames may carry expect_revision to make resent
+// commits idempotent across the reconnect (see api/request.h).
 #pragma once
 
 #include <cstdint>
@@ -49,10 +58,11 @@
 
 namespace bagsched::net {
 
-/// The protocol level this build speaks (mirrors api::kApiVersion).
+/// The protocol level this build speaks.
 /// v1: submit/cancel/stats/ping. v2: hello greeting, versioned ok frames,
-/// open_session/delta/close_session.
-inline constexpr int kProtoVersion = 2;
+/// open_session/delta/close_session. v3: durable sessions —
+/// resume_session, epoch tokens, expect_revision, recovering state.
+inline constexpr int kProtoVersion = 3;
 
 /// Error codes carried by {"type":"error"} frames.
 ///   parse_error      the line was not a JSON object
@@ -69,6 +79,13 @@ inline constexpr int kProtoVersion = 2;
 ///                    supported version) to proceed
 ///   rejected         load shed: the service's max_queue_depth is full
 ///   draining         the server is draining and takes no new submits
+///   recovering       the server is still replaying its journal; only
+///                    ping/stats are served — retry shortly (v3)
+///   stale_epoch      resume_session named a live session but the epoch
+///                    token does not match — the id belongs to another
+///                    journal lineage (e.g. reissued after a wipe) (v3)
+///   session_owned    resume_session for a session currently bound to
+///                    another live connection (v3)
 ///   timeout          the per-request wall-clock budget expired and the
 ///                    stuck-solver watchdog escalated: this error IS the
 ///                    request's terminal frame (any late result is dropped)
@@ -108,6 +125,19 @@ struct ServerCounters {
   std::uint64_t session_closes = 0;
   /// Frames rejected for declaring a proto_version above the server's.
   std::uint64_t version_rejects = 0;
+  // --- v3: durable sessions ---------------------------------------------
+  /// Sessions successfully reclaimed via resume_session.
+  std::uint64_t session_resumes = 0;
+  /// resume_session frames refused (unknown_session / stale_epoch /
+  /// session_owned / draining).
+  std::uint64_t resume_rejects = 0;
+  /// Sessions whose connection died inside the linger window (they stay
+  /// open, orphaned, until resumed or expired).
+  std::uint64_t sessions_orphaned = 0;
+  /// Orphaned sessions closed because nobody resumed them in time.
+  std::uint64_t orphans_expired = 0;
+  /// Frames refused with "recovering" while the journal replayed.
+  std::uint64_t recovering_rejects = 0;
 };
 
 /// Canonical text of a client-assigned id: a JSON string passes through,
@@ -135,6 +165,16 @@ std::string error_frame(const std::string& code, const std::string& message,
 /// acknowledgement carries the freshly assigned id).
 std::string ok_frame(const std::string& op, const std::string& id,
                      std::uint64_t session = 0);
+
+/// Session ok frame (open_session / resume_session acknowledgement): the
+/// session id, its epoch token (decimal string — full u64 range doesn't
+/// survive a JSON double), the committed revision, and — when non-empty —
+/// the committed schedule's digest so a resuming client can verify state.
+std::string session_ok_frame(const std::string& op, const std::string& id,
+                             std::uint64_t session, std::uint64_t epoch,
+                             std::uint64_t revision,
+                             const std::string& digest = std::string());
+
 std::string pong_frame();
 
 /// Connection greeting: the server's protocol version and software name.

@@ -21,6 +21,7 @@
 #include "api/serialize.h"
 #include "net/framing.h"
 #include "net/metrics.h"
+#include "persist/journal.h"
 #include "util/fault.h"
 
 namespace bagsched::net {
@@ -109,7 +110,27 @@ std::string http_target(const std::string& line) {
 }  // namespace
 
 SchedServer::SchedServer(ServerConfig config)
-    : config_(std::move(config)), service_(config_.service) {}
+    : config_(std::move(config)), service_(config_.service) {
+  recovering_.store(config_.start_recovering, std::memory_order_release);
+}
+
+void SchedServer::set_ready() {
+  recovering_.store(false, std::memory_order_release);
+  wake();
+}
+
+void SchedServer::adopt_orphans(const std::vector<std::uint64_t>& sessions) {
+  {
+    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    adopted_orphans_.insert(adopted_orphans_.end(), sessions.begin(),
+                            sessions.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters_.sessions_orphaned += sessions.size();
+  }
+  wake();
+}
 
 SchedServer::~SchedServer() {
   stop();
@@ -239,6 +260,10 @@ void SchedServer::loop() {
       drain_cancelled = true;
     }
 
+    // Orphaned sessions: close the expired ones; a drain closes them all
+    // immediately (nobody may resume into a draining server).
+    sweep_orphans(/*close_all=*/draining);
+
     for (const auto& connection : connections_) {
       if (!connection->dead) pump_sink(*connection);
     }
@@ -293,6 +318,9 @@ void SchedServer::loop() {
       polled.push_back(connection.get());
     }
     int timeout_ms = draining ? 50 : -1;
+    // Orphan expiry needs a heartbeat: an orphan's old connection is gone,
+    // so no socket event will ever fire for it.
+    if (timeout_ms < 0 && !orphaned_sessions_.empty()) timeout_ms = 50;
     if (timeout_ms < 0 && config_.request_budget_seconds > 0.0) {
       // Budget escalation needs a heartbeat even when no socket stirs:
       // a stuck solver produces no events to wake the loop with.
@@ -339,6 +367,7 @@ void SchedServer::loop() {
     }
   }
   connections_.clear();
+  sweep_orphans(/*close_all=*/true);
   if (listen_fd_ != -1) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -554,6 +583,41 @@ void SchedServer::pump_sink(Connection& connection) {
   }
 }
 
+/// Close orphaned sessions whose linger expired — or all of them when the
+/// loop is draining or exiting. Loop thread only.
+void SchedServer::sweep_orphans(bool close_all) {
+  {
+    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    if (!adopted_orphans_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const std::uint64_t session : adopted_orphans_) {
+        orphaned_sessions_.emplace(session, now);
+      }
+      adopted_orphans_.clear();
+    }
+  }
+  if (orphaned_sessions_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto linger =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.session_linger_seconds));
+  std::size_t expired = 0;
+  for (auto it = orphaned_sessions_.begin();
+       it != orphaned_sessions_.end();) {
+    if (close_all || now - it->second >= linger) {
+      service_.close_session(it->first);
+      ++expired;
+      it = orphaned_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters_.orphans_expired += expired;
+  }
+}
+
 void SchedServer::close_connection(Connection& connection,
                                    bool count_orphans) {
   if (connection.dead) return;
@@ -570,10 +634,23 @@ void SchedServer::close_connection(Connection& connection,
     ++orphans;
   }
   connection.inflight.clear();
-  // Sessions are connection-scoped: their server-side state dies with the
-  // connection that opened them.
-  for (const std::uint64_t session : connection.sessions) {
-    service_.close_session(session);
+  // Sessions: without a linger they are connection-scoped and die here,
+  // the pre-v3 behaviour. With one, a live server parks them as orphans so
+  // the client can reconnect and resume_session inside the window; a
+  // draining server closes them anyway (resumes are refused while
+  // draining, so parking would only delay the exit).
+  const bool park = config_.session_linger_seconds > 0.0 && !draining();
+  std::size_t parked = 0;
+  if (park && !connection.sessions.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::uint64_t session : connection.sessions) {
+      orphaned_sessions_.emplace(session, now);
+      ++parked;
+    }
+  } else {
+    for (const std::uint64_t session : connection.sessions) {
+      service_.close_session(session);
+    }
   }
   connection.sessions.clear();
   ::close(connection.fd);
@@ -581,6 +658,7 @@ void SchedServer::close_connection(Connection& connection,
   connection.dead = true;
   std::lock_guard<std::mutex> lock(counters_mutex_);
   if (count_orphans) counters_.disconnect_cancels += orphans;
+  counters_.sessions_orphaned += parked;
   --counters_.connections_active;
 }
 
@@ -656,6 +734,27 @@ void SchedServer::handle_line(Connection& connection,
     }
   }
   const std::string type = frame.string_or("type", "");
+  // Recovering gate: while the journal replays, only ping and stats are
+  // served — everything else would race the session restoration. The error
+  // is structured so clients can tell "retry shortly" from a real refusal.
+  if (recovering() && type != "ping" && type != "stats") {
+    std::string id;
+    if (const util::Json* id_value = frame.find("id")) {
+      try {
+        id = client_id_text(*id_value);
+      } catch (const std::exception&) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.recovering_rejects;
+    }
+    send_frame(connection,
+               error_frame("recovering",
+                           "server is replaying its journal; retry shortly",
+                           id.empty() ? nullptr : &id));
+    return;
+  }
   if (type == "submit") {
     handle_submit(connection, frame);
   } else if (type == "cancel") {
@@ -666,6 +765,8 @@ void SchedServer::handle_line(Connection& connection,
     handle_delta(connection, frame);
   } else if (type == "close_session") {
     handle_close_session(connection, frame);
+  } else if (type == "resume_session") {
+    handle_resume_session(connection, frame);
   } else if (type == "stats") {
     send_frame(connection, stats_frame(service_.stats(),
                                        service_.cache_stats(), counters()));
@@ -692,19 +793,26 @@ void SchedServer::handle_http(Connection& connection,
       std::lock_guard<std::mutex> lock(counters_mutex_);
       ++counters_.metrics_requests;
     }
+    std::optional<persist::JournalStats> journal;
+    if (config_.service.journal != nullptr) {
+      journal = config_.service.journal->stats();
+    }
     response = http_response(
         200, "text/plain; version=0.0.4",
-        prometheus_text(service_.stats(), service_.cache_stats(),
-                        counters()));
+        prometheus_text(service_.stats(), service_.cache_stats(), counters(),
+                        journal.has_value() ? &*journal : nullptr));
   } else if (target == "/healthz") {
     // Liveness + readiness on the serving port itself: a response at all
     // means the event loop is alive; 200 means submits are accepted, 503
-    // that the server is draining and a balancer should stop routing here.
+    // that the server is draining (stop routing here) or still recovering
+    // (journal replay; route back once the body flips to "ok").
     {
       std::lock_guard<std::mutex> lock(counters_mutex_);
       ++counters_.healthz_requests;
     }
-    response = draining()
+    response = recovering()
+                   ? http_response(503, "text/plain", "recovering\n")
+               : draining()
                    ? http_response(503, "text/plain", "draining\n")
                    : http_response(200, "text/plain", "ok\n");
   } else {
@@ -954,10 +1062,13 @@ void SchedServer::handle_open_session(Connection& connection,
   try {
     api::SchedulingService::SessionOpening opening =
         service_.open_session(std::move(request), std::move(tuning));
-    // The ok frame (with the assigned session id) precedes every event of
-    // the initial solve: it goes straight to the outbound buffer while the
-    // events wait on the sink until the pump below.
-    send_frame(connection, ok_frame("open_session", id, opening.session));
+    // The ok frame (with the assigned session id and its epoch token)
+    // precedes every event of the initial solve: it goes straight to the
+    // outbound buffer while the events wait on the sink until the pump
+    // below.
+    send_frame(connection, session_ok_frame("open_session", id,
+                                            opening.session, opening.epoch,
+                                            /*revision=*/0));
     connection.sessions.insert(opening.session);
     // Session ops ignore cancellation tokens, so no timeout escalation.
     connection.inflight.emplace(
@@ -1089,6 +1200,97 @@ void SchedServer::handle_close_session(Connection& connection,
     ++counters_.session_closes;
   }
   send_frame(connection, ok_frame("close_session", id, session));
+}
+
+void SchedServer::handle_resume_session(Connection& connection,
+                                        const util::Json& frame) {
+  const util::Json* id_value = frame.find("id");
+  std::string id;
+  std::uint64_t session = 0;
+  std::uint64_t epoch = 0;
+  try {
+    if (id_value == nullptr) {
+      throw std::runtime_error("resume_session requires an \"id\"");
+    }
+    id = client_id_text(*id_value);
+    const util::Json* session_value = frame.find("session");
+    if (session_value == nullptr) {
+      throw std::runtime_error("resume_session requires a \"session\"");
+    }
+    const long long raw = session_value->as_int();
+    if (raw <= 0) throw std::runtime_error("session must be a positive id");
+    session = static_cast<std::uint64_t>(raw);
+    const util::Json* epoch_value = frame.find("epoch");
+    if (epoch_value == nullptr) {
+      throw std::runtime_error("resume_session requires an \"epoch\"");
+    }
+    // The token is issued as a decimal string (a u64 does not survive a
+    // JSON double) but an integer is accepted for hand-written frames.
+    if (epoch_value->is_string()) {
+      std::size_t consumed = 0;
+      epoch = std::stoull(epoch_value->as_string(), &consumed);
+      if (consumed != epoch_value->as_string().size()) {
+        throw std::runtime_error("epoch must be a decimal string");
+      }
+    } else {
+      epoch = static_cast<std::uint64_t>(epoch_value->as_int());
+    }
+  } catch (const std::exception& error) {
+    send_frame(connection, error_frame("bad_request", error.what(),
+                                       id.empty() ? nullptr : &id));
+    return;
+  }
+  const auto reject = [&](const char* code, const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.resume_rejects;
+    }
+    send_frame(connection, error_frame(code, message, &id));
+  };
+  if (draining()) {
+    reject("draining", "server is draining and resumes no sessions");
+    return;
+  }
+  const std::optional<api::SchedulingService::SessionInfo> info =
+      service_.session_info(session);
+  if (!info.has_value()) {
+    reject("unknown_session", "session " + std::to_string(session) +
+                                  " is not open on this server");
+    return;
+  }
+  if (info->epoch != epoch) {
+    // A matching id with a foreign epoch means a different lineage (the
+    // journal was wiped and the id reissued) — resuming would silently
+    // splice two unrelated sessions together.
+    reject("stale_epoch", "epoch token does not match session " +
+                              std::to_string(session));
+    return;
+  }
+  if (connection.sessions.count(session) != 0) {
+    // Already bound here: a resend of a resume whose ok was lost in
+    // flight. Re-acknowledge instead of erroring so retries are safe.
+    send_frame(connection,
+               session_ok_frame("resume_session", id, session, info->epoch,
+                                info->revision, info->digest));
+    return;
+  }
+  for (const auto& other : connections_) {
+    if (other.get() != &connection && !other->dead &&
+        other->sessions.count(session) != 0) {
+      reject("session_owned", "session " + std::to_string(session) +
+                                  " is bound to another live connection");
+      return;
+    }
+  }
+  orphaned_sessions_.erase(session);
+  connection.sessions.insert(session);
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.session_resumes;
+  }
+  send_frame(connection,
+             session_ok_frame("resume_session", id, session, info->epoch,
+                              info->revision, info->digest));
 }
 
 }  // namespace bagsched::net

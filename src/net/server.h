@@ -30,15 +30,21 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/service.h"
 #include "net/protocol.h"
+
+namespace bagsched::persist {
+class SessionJournal;
+}  // namespace bagsched::persist
 
 namespace bagsched::net {
 
@@ -73,6 +79,17 @@ struct ServerConfig {
   /// exceeds this, new submits are degraded to the cheap `bag-lpt` solver
   /// and their frames are flagged "degraded":true on the wire.
   double brownout_queue_latency_seconds = 0.0;
+  /// Orphan grace (0 = sessions die with their connection, the pre-v3
+  /// behaviour): with a linger, a disconnect parks the connection's open
+  /// sessions as orphans for this many seconds, during which a client
+  /// holding the epoch token can reclaim them with resume_session. Expired
+  /// orphans are closed by the event loop.
+  double session_linger_seconds = 0.0;
+  /// Boot in the "recovering" state: every frame except ping/stats is
+  /// refused with a "recovering" error and /healthz answers 503 until
+  /// set_ready() is called. sched_server uses this to replay its journal
+  /// after the port is already bound, so probes see the boot progressing.
+  bool start_recovering = false;
 };
 
 namespace detail {
@@ -109,6 +126,21 @@ class SchedServer {
            stop_.load(std::memory_order_relaxed);
   }
 
+  /// True while the server refuses work with "recovering" errors (journal
+  /// replay still running). Starts true iff config.start_recovering.
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+  /// Leaves the recovering state; thread-safe, idempotent. Called by
+  /// sched_server once journal replay and session restoration finished.
+  void set_ready();
+
+  /// Park sessions (typically the ones just restored from the journal) as
+  /// orphans, exactly as if their connection had died: resumable with
+  /// resume_session inside the linger window, closed when it expires.
+  /// Thread-safe; the event loop adopts them on its next pass.
+  void adopt_orphans(const std::vector<std::uint64_t>& sessions);
+
   ServerCounters counters() const;
   api::SchedulingService& service() { return service_; }
   const ServerConfig& config() const { return config_; }
@@ -131,6 +163,9 @@ class SchedServer {
   void handle_delta(detail::Connection& connection, const util::Json& frame);
   void handle_close_session(detail::Connection& connection,
                             const util::Json& frame);
+  void handle_resume_session(detail::Connection& connection,
+                             const util::Json& frame);
+  void sweep_orphans(bool close_all);
   void send_frame(detail::Connection& connection, std::string frame);
   void wake();
 
@@ -144,10 +179,20 @@ class SchedServer {
 
   std::atomic<bool> drain_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> recovering_{false};
   std::thread loop_thread_;
 
   /// Owned by the loop thread exclusively.
   std::vector<std::unique_ptr<detail::Connection>> connections_;
+  /// Sessions whose connection died inside the linger window, keyed to the
+  /// instant they were orphaned. Owned by the loop thread exclusively;
+  /// swept every iteration and resume_session removes entries on reclaim.
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
+      orphaned_sessions_;
+  /// Hand-off for adopt_orphans() callers (main thread at boot): drained
+  /// into orphaned_sessions_ by the loop under adopted_mutex_.
+  std::mutex adopted_mutex_;
+  std::vector<std::uint64_t> adopted_orphans_;
 
   mutable std::mutex counters_mutex_;
   ServerCounters counters_;

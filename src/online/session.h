@@ -114,6 +114,10 @@ class ScheduleSession {
   double lower_bound() const { return lower_bound_; }
   /// Commit counter: 0 after construction, +1 per committed delta.
   std::uint64_t revision() const { return revision_; }
+  /// Crash-recovery only: both constructors reset the counter to 0, so a
+  /// session re-adopted from the journal restores its journaled revision
+  /// here to keep client-side expect_revision dedupe meaningful.
+  void restore_revision(std::uint64_t revision) { revision_ = revision; }
   const SessionStats& stats() const { return stats_; }
   const SessionOptions& options() const { return options_; }
 

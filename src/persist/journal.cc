@@ -1,0 +1,584 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "api/serialize.h"
+#include "model/io.h"
+#include "util/fault.h"
+#include "util/hash.h"
+
+namespace bagsched::persist {
+namespace {
+
+std::uint64_t u64_from_json(const util::Json& value) {
+  // Full-range u64 values (epochs) travel as decimal strings; session ids
+  // and revisions are small enough to ride as numbers.
+  return value.is_string() ? std::stoull(value.as_string())
+                           : static_cast<std::uint64_t>(value.as_int());
+}
+
+util::Json tuning_to_json(const online::SessionOptions& tuning) {
+  util::Json json = util::Json::object();
+  json.set("solve", api::options_to_json(tuning.solve));
+  if (!tuning.solvers.empty()) {
+    util::Json solvers = util::Json::array();
+    for (const std::string& solver : tuning.solvers) solvers.push_back(solver);
+    json.set("solvers", std::move(solvers));
+  }
+  json.set("regret_bound", tuning.regret_bound);
+  json.set("repair_moves", tuning.repair_moves);
+  json.set("region_max_jobs", tuning.region_max_jobs);
+  json.set("region_max_nodes", tuning.region_max_nodes);
+  json.set("memo_capacity",
+           static_cast<long long>(tuning.memo_capacity));
+  return json;
+}
+
+online::SessionOptions tuning_from_json(const util::Json& json) {
+  online::SessionOptions tuning;
+  if (const util::Json* solve = json.find("solve")) {
+    tuning.solve = api::options_from_json(*solve);
+  }
+  if (const util::Json* solvers = json.find("solvers")) {
+    for (const util::Json& solver : solvers->as_array()) {
+      tuning.solvers.push_back(solver.as_string());
+    }
+  }
+  tuning.regret_bound = json.number_or("regret_bound", tuning.regret_bound);
+  tuning.repair_moves = json.int_or("repair_moves", tuning.repair_moves);
+  tuning.region_max_jobs = static_cast<int>(
+      json.int_or("region_max_jobs", tuning.region_max_jobs));
+  tuning.region_max_nodes =
+      json.int_or("region_max_nodes", tuning.region_max_nodes);
+  tuning.memo_capacity = static_cast<std::size_t>(json.int_or(
+      "memo_capacity", static_cast<long long>(tuning.memo_capacity)));
+  return tuning;
+}
+
+std::string hex16(std::uint64_t value) {
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(out, 16);
+}
+
+/// Committed deltas a shadow may buffer before they are folded into its
+/// instance — the backstop for commits journaled WITHOUT a caller-supplied
+/// post-delta instance (replay, bare record_commit callers). Folding costs
+/// a full apply_delta per buffered delta whenever it happens, so it is
+/// deferred to the readers (snapshot, replay); this limit only bounds the
+/// buffer's memory.
+constexpr std::size_t kPendingBatchLimit = 1024;
+
+void append_int(std::string& out, long long value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+/// Serializes a schedule straight into the payload buffer — byte-for-byte
+/// what model::schedule_to_json(schedule).dump() produces, without
+/// building the intermediate Json tree. delta_commit is the journal's hot
+/// record (one per acked delta); the tree build + generic writer were the
+/// bulk of its cost.
+void append_schedule_json(std::string& out, const model::Schedule& schedule) {
+  out += "{\"machines\":";
+  append_int(out, schedule.num_machines());
+  out += ",\"assignment\":[";
+  bool first = true;
+  for (const model::MachineId machine : schedule.assignment()) {
+    if (!first) out += ',';
+    first = false;
+    append_int(out, static_cast<long long>(machine));
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string schedule_digest(const model::Schedule& schedule) {
+  util::Hash128 hash(0x6a6f75726e616cULL);
+  hash.update(static_cast<std::uint64_t>(schedule.num_machines()));
+  for (const model::MachineId machine : schedule.assignment()) {
+    hash.update(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(machine)));
+  }
+  return hex16(hash.hi()) + hex16(hash.lo());
+}
+
+SessionJournal::SessionJournal(JournalConfig config)
+    : config_(std::move(config)) {
+  struct stat dir_stat {};
+  if (::stat(config_.dir.c_str(), &dir_stat) != 0) {
+    throw PersistError("journal dir " + config_.dir + " does not exist (" +
+                       std::strerror(errno) + "); create it first");
+  }
+  if (!S_ISDIR(dir_stat.st_mode)) {
+    throw PersistError("journal dir " + config_.dir + " is not a directory");
+  }
+
+  const std::string lock = lock_path();
+  lock_fd_ = ::open(lock.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw PersistError("journal dir " + config_.dir + " is not writable (" +
+                       lock + ": " + std::strerror(errno) + ")");
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    std::string owner = "unknown pid";
+    char pid_text[32];
+    const ssize_t got = ::pread(lock_fd_, pid_text, sizeof pid_text - 1, 0);
+    if (got > 0) {
+      pid_text[got] = '\0';
+      owner = "pid " + std::string(pid_text);
+      while (!owner.empty() && (owner.back() == '\n' || owner.back() == ' ')) {
+        owner.pop_back();
+      }
+    }
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw PersistError("journal dir " + config_.dir +
+                       " is locked by another live server (" + owner +
+                       " holds " + lock + ")");
+  }
+  const std::string pid = std::to_string(::getpid()) + "\n";
+  if (::ftruncate(lock_fd_, 0) != 0 ||
+      ::pwrite(lock_fd_, pid.data(), pid.size(), 0) < 0) {
+    // Lock is held regardless; the pid in the file is advisory diagnostics.
+  }
+
+  try {
+    WalReplay found;
+    wal_ = Wal::open(wal_path(), wal_policy(),
+                     config_.fsync_interval_seconds, &found);
+    pending_replay_ = std::move(found.records);
+    truncated_bytes_ = found.truncated_bytes;
+  } catch (...) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
+  }
+
+  if (config_.fsync == FsyncPolicy::Interval) {
+    flusher_ = std::thread([this] { flusher_main(); });
+  }
+}
+
+SessionJournal::~SessionJournal() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(flusher_mutex_);
+      stop_flusher_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  wal_.close();
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // releases the flock
+    lock_fd_ = -1;
+  }
+}
+
+FsyncPolicy SessionJournal::wal_policy() const {
+  // Under Interval the bounded-loss window is enforced by the background
+  // flusher (fsync every fsync_interval_seconds, off the append path), so
+  // the WAL itself must not sync inline — an fsync can take tens of
+  // milliseconds on a loaded filesystem and it would stall every ack
+  // landing in that window.
+  return config_.fsync == FsyncPolicy::Interval ? FsyncPolicy::Off
+                                                : config_.fsync;
+}
+
+void SessionJournal::flusher_main() {
+  const auto interval =
+      std::chrono::duration<double>(config_.fsync_interval_seconds);
+  std::unique_lock<std::mutex> lock(flusher_mutex_);
+  while (!stop_flusher_) {
+    flusher_cv_.wait_for(lock, interval);
+    if (stop_flusher_) break;
+    lock.unlock();
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (wal_.is_open() && dirty_since_flush_) {
+        fd = ::dup(wal_.fd());
+        dirty_since_flush_ = false;
+      }
+    }
+    if (fd >= 0) {
+      // On a dup'd descriptor, without the journal mutex: appends keep
+      // landing while the kernel writes back, and a concurrent snapshot
+      // rotation at worst syncs the already-renamed previous file.
+      // fdatasync, not fsync: data + the size metadata needed to read it
+      // back is exactly the durability the framed WAL requires, and it
+      // skips the inode-timestamp writeback that stalls concurrent
+      // appends hardest.
+      ::fdatasync(fd);
+      ::close(fd);
+      flusher_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+}
+
+std::string SessionJournal::wal_path() const {
+  return config_.dir + "/journal.wal";
+}
+
+std::string SessionJournal::lock_path() const {
+  return config_.dir + "/LOCK";
+}
+
+RecoveredState SessionJournal::replay() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (replayed_) throw PersistError("journal: replay() called twice");
+  replayed_ = true;
+
+  std::size_t index = 0;
+  for (const std::string& text : pending_replay_) {
+    util::Json record;
+    try {
+      record = util::Json::parse(text);
+    } catch (const std::exception& error) {
+      throw PersistError("journal: record " + std::to_string(index) +
+                         " is CRC-valid but unparseable: " + error.what());
+    }
+    ingest_locked(record);
+    ++records_replayed_;
+    ++index;
+  }
+  pending_replay_.clear();
+
+  RecoveredState state;
+  state.max_session_id = max_session_id_;
+  state.records_replayed = records_replayed_;
+  state.truncated_bytes = truncated_bytes_;
+  for (auto& [session, shadow] : sessions_) {
+    materialize_locked(session, shadow);
+  }
+  for (const auto& [session, shadow] : sessions_) {
+    RecoveredSession recovered;
+    recovered.session = session;
+    recovered.epoch = shadow.epoch;
+    recovered.revision = shadow.revision;
+    recovered.instance = shadow.instance;
+    recovered.schedule = shadow.schedule;
+    recovered.tuning = tuning_from_json(shadow.tuning);
+    recovered.last_delta_json = shadow.last_delta_json;
+    recovered.digest = shadow.digest;
+    state.sessions.push_back(std::move(recovered));
+  }
+  sessions_recovered_ = state.sessions.size();
+  return state;
+}
+
+void SessionJournal::ingest_locked(const util::Json& record) {
+  const std::string type = record.at("type").as_string();
+  if (type == "session_open") {
+    const std::uint64_t session = u64_from_json(record.at("session"));
+    Shadow shadow;
+    shadow.epoch = u64_from_json(record.at("epoch"));
+    shadow.revision = 0;
+    shadow.instance = model::instance_from_json(record.at("instance"));
+    shadow.schedule = model::schedule_from_json(record.at("schedule"));
+    shadow.tuning = record.at("tuning");
+    shadow.digest = record.at("digest").as_string();
+    if (schedule_digest(shadow.schedule) != shadow.digest) {
+      throw PersistError("journal: session_open digest mismatch for session " +
+                         std::to_string(session));
+    }
+    open_shadow_locked(session, std::move(shadow));
+  } else if (type == "delta_commit") {
+    const std::uint64_t session = u64_from_json(record.at("session"));
+    const std::uint64_t revision = u64_from_json(record.at("revision"));
+    Shadow& shadow = checked_commit_shadow_locked(session, revision);
+    const model::Delta delta = api::delta_from_json(record.at("delta"));
+    model::Schedule schedule = model::schedule_from_json(record.at("schedule"));
+    std::string digest = record.at("digest").as_string();
+    if (schedule_digest(schedule) != digest) {
+      throw PersistError("journal: delta_commit digest mismatch for session " +
+                         std::to_string(session) + " revision " +
+                         std::to_string(revision));
+    }
+    apply_commit_locked(session, shadow, delta, record.at("delta").dump(),
+                        schedule, std::move(digest), nullptr);
+  } else if (type == "session_close") {
+    sessions_.erase(u64_from_json(record.at("session")));
+  } else if (type == "snapshot") {
+    sessions_.clear();
+    max_session_id_ = u64_from_json(record.at("max_session_id"));
+    for (const util::Json& entry : record.at("sessions").as_array()) {
+      const std::uint64_t session = u64_from_json(entry.at("session"));
+      Shadow shadow;
+      shadow.epoch = u64_from_json(entry.at("epoch"));
+      shadow.revision = u64_from_json(entry.at("revision"));
+      shadow.instance = model::instance_from_json(entry.at("instance"));
+      shadow.schedule = model::schedule_from_json(entry.at("schedule"));
+      shadow.tuning = entry.at("tuning");
+      shadow.digest = entry.at("digest").as_string();
+      if (schedule_digest(shadow.schedule) != shadow.digest) {
+        throw PersistError("journal: snapshot digest mismatch for session " +
+                           std::to_string(session));
+      }
+      shadow.last_delta_json = entry.string_or("last_delta", "");
+      open_shadow_locked(session, std::move(shadow));
+    }
+  } else {
+    throw PersistError("journal: unknown record type \"" + type + "\"");
+  }
+}
+
+void SessionJournal::open_shadow_locked(std::uint64_t session, Shadow shadow) {
+  sessions_[session] = std::move(shadow);
+  if (session > max_session_id_) max_session_id_ = session;
+}
+
+SessionJournal::Shadow& SessionJournal::checked_commit_shadow_locked(
+    std::uint64_t session, std::uint64_t revision) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw PersistError("journal: delta_commit for unknown session " +
+                       std::to_string(session));
+  }
+  Shadow& shadow = it->second;
+  if (revision != shadow.revision + 1) {
+    throw PersistError("journal: session " + std::to_string(session) +
+                       " revision jumped from " +
+                       std::to_string(shadow.revision) + " to " +
+                       std::to_string(revision));
+  }
+  return shadow;
+}
+
+void SessionJournal::apply_commit_locked(std::uint64_t session, Shadow& shadow,
+                                         const model::Delta& delta,
+                                         std::string delta_json,
+                                         const model::Schedule& schedule,
+                                         std::string digest,
+                                         const model::Instance* post_instance) {
+  if (post_instance != nullptr) {
+    // The caller's instance already includes every commit so far — any
+    // deltas still buffered are subsumed by it.
+    shadow.instance = *post_instance;
+    shadow.pending.clear();
+  } else {
+    shadow.pending.push_back(delta);
+    if (shadow.pending.size() >= kPendingBatchLimit) {
+      materialize_locked(session, shadow);
+    }
+  }
+  shadow.schedule = schedule;
+  shadow.digest = std::move(digest);
+  ++shadow.revision;
+  shadow.last_delta_json = std::move(delta_json);
+}
+
+void SessionJournal::materialize_locked(std::uint64_t session,
+                                        Shadow& shadow) {
+  for (const model::Delta& delta : shadow.pending) {
+    try {
+      shadow.instance = model::apply_delta(shadow.instance, delta);
+    } catch (const std::exception& error) {
+      throw PersistError("journal: committed delta for session " +
+                         std::to_string(session) +
+                         " does not apply: " + error.what());
+    }
+  }
+  shadow.pending.clear();
+}
+
+void SessionJournal::appended_locked(std::size_t payload_bytes) {
+  ++records_appended_;
+  bytes_appended_ += payload_bytes;
+  dirty_since_flush_ = true;  // wakes the Interval flusher's next cycle
+  ++records_since_snapshot_;
+  if (config_.snapshot_every != 0 &&
+      records_since_snapshot_ >= config_.snapshot_every) {
+    snapshot_locked(/*rethrow=*/false);
+  }
+}
+
+void SessionJournal::record_open(std::uint64_t session, std::uint64_t epoch,
+                                 const model::Instance& instance,
+                                 const online::SessionOptions& tuning,
+                                 const model::Schedule& schedule) {
+  util::Json record = util::Json::object();
+  record.set("type", "session_open");
+  record.set("session", static_cast<long long>(session));
+  record.set("epoch", std::to_string(epoch));
+  record.set("instance", model::instance_to_json(instance));
+  record.set("tuning", tuning_to_json(tuning));
+  record.set("schedule", model::schedule_to_json(schedule));
+  record.set("digest", schedule_digest(schedule));
+  Shadow shadow;
+  shadow.epoch = epoch;
+  shadow.revision = 0;
+  shadow.instance = instance;
+  shadow.schedule = schedule;
+  shadow.tuning = record.at("tuning");
+  shadow.digest = record.at("digest").as_string();
+  const std::string payload = record.dump();
+  std::lock_guard<std::mutex> guard(mutex_);
+  wal_.append(payload);
+  open_shadow_locked(session, std::move(shadow));
+  appended_locked(payload.size());
+}
+
+void SessionJournal::record_commit(std::uint64_t session,
+                                   std::uint64_t revision,
+                                   const model::Delta& delta,
+                                   const model::Schedule& schedule,
+                                   const model::Instance* post_instance) {
+  // The hot record — one per acked delta, serialized straight into the
+  // payload buffer (see append_schedule_json).
+  std::string delta_json = api::to_json(delta).dump();
+  std::string digest = schedule_digest(schedule);
+  std::string payload;
+  payload.reserve(delta_json.size() + digest.size() +
+                  static_cast<std::size_t>(schedule.num_jobs()) * 4 + 96);
+  payload += "{\"type\":\"delta_commit\",\"session\":";
+  append_int(payload, static_cast<long long>(session));
+  payload += ",\"revision\":";
+  append_int(payload, static_cast<long long>(revision));
+  payload += ",\"delta\":";
+  payload += delta_json;
+  payload += ",\"schedule\":";
+  append_schedule_json(payload, schedule);
+  payload += ",\"digest\":\"";
+  payload += digest;
+  payload += "\"}";
+  std::lock_guard<std::mutex> guard(mutex_);
+  Shadow& shadow = checked_commit_shadow_locked(session, revision);
+  wal_.append(payload);
+  apply_commit_locked(session, shadow, delta, std::move(delta_json),
+                      schedule, std::move(digest), post_instance);
+  appended_locked(payload.size());
+}
+
+void SessionJournal::record_close(std::uint64_t session) {
+  std::string payload = "{\"type\":\"session_close\",\"session\":";
+  append_int(payload, static_cast<long long>(session));
+  payload += "}";
+  std::lock_guard<std::mutex> guard(mutex_);
+  wal_.append(payload);
+  sessions_.erase(session);
+  appended_locked(payload.size());
+}
+
+util::Json SessionJournal::snapshot_record_locked() {
+  // Snapshots read the shadow instances: fold in any deltas still pending
+  // from the lazy commit path first.
+  for (auto& [session, shadow] : sessions_) {
+    materialize_locked(session, shadow);
+  }
+  util::Json record = util::Json::object();
+  record.set("type", "snapshot");
+  record.set("max_session_id", static_cast<long long>(max_session_id_));
+  util::Json entries = util::Json::array();
+  for (const auto& [session, shadow] : sessions_) {
+    util::Json entry = util::Json::object();
+    entry.set("session", static_cast<long long>(session));
+    entry.set("epoch", std::to_string(shadow.epoch));
+    entry.set("revision", static_cast<long long>(shadow.revision));
+    entry.set("instance", model::instance_to_json(shadow.instance));
+    entry.set("tuning", shadow.tuning);
+    entry.set("schedule", model::schedule_to_json(shadow.schedule));
+    entry.set("digest", shadow.digest);
+    if (!shadow.last_delta_json.empty()) {
+      entry.set("last_delta", shadow.last_delta_json);
+    }
+    entries.push_back(std::move(entry));
+  }
+  record.set("sessions", std::move(entries));
+  return record;
+}
+
+void SessionJournal::snapshot_locked(bool rethrow) {
+  if (BAGSCHED_FAULT("persist.snapshot")) {
+    ++snapshot_failures_;
+    records_since_snapshot_ = 0;  // back off until the next full window
+    if (rethrow) {
+      throw PersistError("journal: injected snapshot failure "
+                         "(persist.snapshot)");
+    }
+    return;
+  }
+
+  const std::string payload = snapshot_record_locked().dump();
+  const std::string tmp = wal_path() + ".tmp";
+  try {
+    ::unlink(tmp.c_str());
+    Wal tmp_wal = Wal::open(tmp, FsyncPolicy::Off);
+    tmp_wal.append(payload);
+    tmp_wal.sync();
+    tmp_wal.close();
+  } catch (...) {
+    ++snapshot_failures_;
+    records_since_snapshot_ = 0;
+    ::unlink(tmp.c_str());
+    if (rethrow) throw;
+    return;  // the live journal is untouched; keep appending to it
+  }
+
+  // Point of no return: swap the compacted file in and move the writer
+  // over. A failure from here on is a real I/O emergency, not something
+  // automatic compaction may shrug off.
+  if (::rename(tmp.c_str(), wal_path().c_str()) != 0) {
+    ++snapshot_failures_;
+    const std::string reason = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    if (rethrow) {
+      throw PersistError("journal: cannot rename " + tmp + " over " +
+                         wal_path() + ": " + reason);
+    }
+    return;
+  }
+  const int dir_fd = ::open(config_.dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  wal_.close();
+  wal_ = Wal::open(wal_path(), wal_policy(), config_.fsync_interval_seconds);
+  records_since_snapshot_ = 0;
+  ++snapshots_;
+}
+
+void SessionJournal::snapshot() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  snapshot_locked(/*rethrow=*/true);
+}
+
+void SessionJournal::sync() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  wal_.sync();
+}
+
+JournalStats SessionJournal::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  JournalStats stats;
+  stats.records_appended = records_appended_;
+  stats.bytes_appended = bytes_appended_;
+  stats.fsyncs =
+      wal_.fsyncs() + flusher_fsyncs_.load(std::memory_order_relaxed);
+  stats.snapshots = snapshots_;
+  stats.snapshot_failures = snapshot_failures_;
+  stats.records_replayed = records_replayed_;
+  stats.sessions_recovered = sessions_recovered_;
+  stats.truncated_bytes = truncated_bytes_;
+  stats.live_sessions = sessions_.size();
+  stats.journal_bytes = wal_.size_bytes();
+  return stats;
+}
+
+}  // namespace bagsched::persist

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -47,16 +48,19 @@ void write_number(std::string& out, double value) {
     out += "null";
     return;
   }
+  // std::to_chars, not snprintf: number-heavy documents (journaled
+  // schedules, wire frames) serialize an order of magnitude faster, and
+  // the shortest-round-trip form it emits parses back bit-identical.
+  char buffer[32];
   // Integers (up to the 2^53 exact range) print without a decimal point.
   if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
-    out += buffer;
+    const auto result = std::to_chars(buffer, buffer + sizeof(buffer),
+                                      static_cast<long long>(value));
+    out.append(buffer, result.ptr);
     return;
   }
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  out += buffer;
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
 }
 
 class Parser {

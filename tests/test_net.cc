@@ -19,6 +19,7 @@
 #include "net/framing.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "persist/journal.h"
 #include "util/json.h"
 
 namespace bagsched {
@@ -659,6 +660,214 @@ TEST(NetServerTest, SessionsDieWithTheirConnection) {
   EXPECT_TRUE(closed);
   server.stop();
   server.wait();
+}
+
+TEST(NetServerTest, RecoveringServerRefusesWorkUntilReady) {
+  auto config = test_config();
+  config.start_recovering = true;
+  SchedServer server(config);
+  server.start();
+  ASSERT_TRUE(server.recovering());
+
+  // Probes see 503 "recovering" — distinguishable from both "down" (no
+  // listener) and "draining".
+  const auto [status, body] = net::fetch_healthz("127.0.0.1", server.port());
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(body, "recovering\n");
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  // Diagnostics still answer...
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.string_or("type", ""), "stats");
+  // ...but work is refused with a structured "recovering" error.
+  try {
+    client.solve(quick_request(1), "early");
+    FAIL() << "expected a recovering error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("recovering"),
+              std::string::npos);
+  }
+  EXPECT_GE(server.counters().recovering_rejects, 1u);
+
+  server.set_ready();
+  EXPECT_FALSE(server.recovering());
+  const auto [ready_status, ready_body] =
+      net::fetch_healthz("127.0.0.1", server.port());
+  EXPECT_EQ(ready_status, 200);
+  const auto result = client.solve(quick_request(1), "late");
+  EXPECT_TRUE(result.ok()) << result.error;
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, ResumeSessionReclaimsAnOrphanInsideTheLingerWindow) {
+  auto config = test_config();
+  config.session_linger_seconds = 30.0;
+  SchedServer server(config);
+  server.start();
+
+  const auto request = quick_request(9);
+  model::Delta delta;
+  delta.arrivals.push_back(
+      model::JobArrival{0.5, request.instance->num_bags()});
+
+  // Open a session, commit one delta, then die without close_session.
+  std::uint64_t session_id = 0;
+  std::uint64_t epoch = 0;
+  std::string committed_digest;
+  {
+    auto client = Client::connect("127.0.0.1", server.port());
+    const auto session = client.open_session(request, "s1");
+    ASSERT_TRUE(session.initial.ok());
+    ASSERT_NE(session.epoch, 0u);
+    session_id = session.id;
+    epoch = session.epoch;
+    const auto repaired = client.delta(session.id, delta, "d1");
+    ASSERT_TRUE(repaired.ok()) << repaired.error;
+    committed_digest = persist::schedule_digest(repaired.schedule);
+    client.abort();  // RST, no goodbye
+  }
+
+  // The session is parked, not closed: still open service-side.
+  bool orphaned = false;
+  for (int i = 0; i < 100 && !orphaned; ++i) {
+    orphaned = server.counters().sessions_orphaned >= 1;
+    if (!orphaned) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(orphaned);
+  EXPECT_EQ(server.service().stats().open_sessions, 1u);
+
+  auto reclaimer = Client::connect("127.0.0.1", server.port());
+  // A delta into the linger window without resuming first: the session is
+  // not bound to this connection, so it must be refused...
+  EXPECT_THROW(reclaimer.delta(session_id, delta, "too-early"),
+               std::runtime_error);
+  // ...a stale epoch token must be refused...
+  try {
+    reclaimer.resume_session(session_id, epoch + 1, "bad-epoch");
+    FAIL() << "expected stale_epoch";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("stale_epoch"),
+              std::string::npos);
+  }
+  // ...an unknown session likewise...
+  EXPECT_THROW(reclaimer.resume_session(session_id + 99, epoch, "bad-id"),
+               std::runtime_error);
+  // ...and the genuine token reclaims the session where it left off.
+  const Client::Resumed resumed =
+      reclaimer.resume_session(session_id, epoch, "r1");
+  EXPECT_EQ(resumed.session, session_id);
+  EXPECT_EQ(resumed.epoch, epoch);
+  EXPECT_EQ(resumed.revision, 1u);
+  EXPECT_EQ(resumed.digest, committed_digest);
+
+  // The reclaimed session keeps working on the new connection.
+  model::Delta another;
+  another.arrivals.push_back(
+      model::JobArrival{0.25, request.instance->num_bags()});
+  const auto after = reclaimer.delta(session_id, another, "d2");
+  ASSERT_TRUE(after.ok()) << after.error;
+  reclaimer.close_session(session_id, "c1");
+
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.session_resumes, 1u);
+  EXPECT_GE(counters.resume_rejects, 2u);
+  EXPECT_EQ(counters.orphans_expired, 0u);
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, OrphanedSessionsExpireAfterTheLingerWindow) {
+  auto config = test_config();
+  config.session_linger_seconds = 0.05;
+  SchedServer server(config);
+  server.start();
+
+  std::uint64_t session_id = 0;
+  std::uint64_t epoch = 0;
+  {
+    auto client = Client::connect("127.0.0.1", server.port());
+    const auto session = client.open_session(quick_request(4), "s");
+    ASSERT_TRUE(session.initial.ok());
+    session_id = session.id;
+    epoch = session.epoch;
+    client.abort();
+  }
+  // The sweep closes the orphan once the linger elapses.
+  bool expired = false;
+  for (int i = 0; i < 200 && !expired; ++i) {
+    expired = server.service().stats().open_sessions == 0;
+    if (!expired) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(expired);
+  EXPECT_GE(server.counters().orphans_expired, 1u);
+
+  // Too late: even the correct epoch cannot bring it back.
+  auto late = Client::connect("127.0.0.1", server.port());
+  try {
+    late.resume_session(session_id, epoch, "late");
+    FAIL() << "expected unknown_session";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown_session"),
+              std::string::npos);
+  }
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, ResumeIsRefusedWhileTheSessionIsOwnedElsewhere) {
+  auto config = test_config();
+  config.session_linger_seconds = 30.0;
+  SchedServer server(config);
+  server.start();
+
+  auto owner = Client::connect("127.0.0.1", server.port());
+  const auto session = owner.open_session(quick_request(5), "s");
+  ASSERT_TRUE(session.initial.ok());
+
+  auto thief = Client::connect("127.0.0.1", server.port());
+  try {
+    thief.resume_session(session.id, session.epoch, "steal");
+    FAIL() << "expected session_owned";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("session_owned"),
+              std::string::npos);
+  }
+  // Resuming a session already bound to THIS connection is an idempotent
+  // re-acknowledgement, not an error (a retried resume whose ok was lost).
+  const Client::Resumed again =
+      owner.resume_session(session.id, session.epoch, "again");
+  EXPECT_EQ(again.session, session.id);
+  EXPECT_EQ(again.revision, 0u);
+  server.stop();
+  server.wait();
+}
+
+TEST(NetServerTest, CloseSessionRacingDrainStaysConsistent) {
+  // close_session and request_drain land at the same instant, repeatedly:
+  // whichever wins, the server must answer something structured (ok or a
+  // draining error), drain to completion, and leave no session behind.
+  for (int round = 0; round < 5; ++round) {
+    auto config = test_config();
+    config.session_linger_seconds = 5.0;  // orphans must not outlive drain
+    SchedServer server(config);
+    server.start();
+    auto client = Client::connect("127.0.0.1", server.port());
+    const auto session = client.open_session(
+        quick_request(static_cast<std::uint64_t>(round)), "s");
+    ASSERT_TRUE(session.initial.ok());
+
+    std::thread drainer([&server] { server.request_drain(); });
+    try {
+      client.close_session(session.id, "race");
+    } catch (const std::exception&) {
+      // A draining refusal (or a closed connection) is a legal outcome.
+    }
+    drainer.join();
+    server.wait();
+    EXPECT_EQ(server.service().stats().open_sessions, 0u);
+    EXPECT_EQ(server.counters().connections_active, 0u);
+  }
 }
 
 TEST(NetServerTest, SoakManyConnectionsWithKills) {

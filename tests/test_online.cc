@@ -95,6 +95,57 @@ TEST(DeltaTest, ApplyUndoRoundTripSharesExactFingerprint) {
   }
 }
 
+TEST(DeltaTest, InverseRoundTripAcrossAFailedThenReAddedMachine) {
+  // Bags of size 2 on 4 machines: still bag-feasible after one failure.
+  const model::Instance start = model::Instance::from_vectors(
+      {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0},
+      {0, 0, 1, 1, 2, 2, 3, 3}, 4);
+  ASSERT_GE(start.num_machines(), 2);
+
+  // Fail a machine, then bring a replacement back: machines are identical,
+  // so the round trip restores the exact canonical fingerprint.
+  model::Delta fail;
+  fail.failed_machines = {1};
+  model::DeltaMap fail_map;
+  const model::Instance degraded = model::apply_delta(start, fail, &fail_map);
+  ASSERT_TRUE(degraded.is_feasible());
+  EXPECT_EQ(degraded.num_machines(), start.num_machines() - 1);
+
+  model::Delta readd;
+  readd.machines_added = 1;
+  model::DeltaMap readd_map;
+  const model::Instance restored =
+      model::apply_delta(degraded, readd, &readd_map);
+  EXPECT_EQ(restored.num_machines(), start.num_machines());
+  EXPECT_EQ(cache::Canonicalizer::exact(restored).fingerprint,
+            cache::Canonicalizer::exact(start).fingerprint);
+
+  // Each step's inverse unwinds it: restored -> degraded -> start.
+  const model::Delta undo_readd =
+      model::inverse_delta(degraded, readd, readd_map);
+  const model::Instance back_degraded =
+      model::apply_delta(restored, undo_readd);
+  EXPECT_EQ(cache::Canonicalizer::exact(back_degraded).fingerprint,
+            cache::Canonicalizer::exact(degraded).fingerprint);
+  const model::Delta undo_fail = model::inverse_delta(start, fail, fail_map);
+  const model::Instance back_start =
+      model::apply_delta(back_degraded, undo_fail);
+  EXPECT_EQ(cache::Canonicalizer::exact(back_start).fingerprint,
+            cache::Canonicalizer::exact(start).fingerprint);
+
+  // A live session repairs across the same outage: every job on the failed
+  // machine migrates, revisions advance, and the schedule stays feasible.
+  online::ScheduleSession session(start, quick_session());
+  const api::SolveResult after_fail = session.apply(fail);
+  ASSERT_TRUE(after_fail.ok()) << after_fail.error;
+  EXPECT_TRUE(after_fail.schedule_feasible);
+  const api::SolveResult after_readd = session.apply(readd);
+  ASSERT_TRUE(after_readd.ok()) << after_readd.error;
+  EXPECT_TRUE(after_readd.schedule_feasible);
+  EXPECT_EQ(session.revision(), 2u);
+  EXPECT_EQ(session.instance().num_machines(), start.num_machines());
+}
+
 TEST(DeltaTest, MalformedDeltasThrow) {
   const auto instance =
       model::Instance::from_vectors({1.0, 2.0, 3.0}, {0, 0, 1}, 2);

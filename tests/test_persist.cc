@@ -1,0 +1,483 @@
+// Tests for the persistence layer (DESIGN.md §8): WAL framing round trips,
+// torn-tail detection at every possible truncation offset, CRC corruption
+// handling, the session journal's replay/snapshot equivalence, directory
+// locking and fail-fast validation, and the persist.* fault points'
+// append-before-ack semantics.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/canonicalize.h"
+#include "gen/churn.h"
+#include "model/delta.h"
+#include "online/session.h"
+#include "persist/journal.h"
+#include "persist/wal.h"
+#include "util/fault.h"
+
+namespace bagsched {
+namespace {
+
+using persist::FsyncPolicy;
+using persist::PersistError;
+using persist::SessionJournal;
+using persist::Wal;
+using persist::WalReplay;
+
+/// mkdtemp-backed scratch directory, recursively removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char templ[] = "/tmp/bagsched_persist_XXXXXX";
+    const char* made = ::mkdtemp(templ);
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path_ = made;
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Disables fault injection when the test scope ends, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { util::fault::disable(); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+gen::ChurnParams tiny_churn(std::uint64_t seed = 21) {
+  gen::ChurnParams params;
+  params.num_jobs = 30;
+  params.num_machines = 5;
+  params.num_bags = 8;
+  params.steps = 8;
+  params.seed = seed;
+  return params;
+}
+
+online::SessionOptions cheap_tuning() {
+  online::SessionOptions tuning;
+  tuning.solvers = {"greedy-bags"};
+  tuning.solve.seed = 5;
+  tuning.regret_bound = 0.35;
+  return tuning;
+}
+
+// --- CRC + framing ---------------------------------------------------------
+
+TEST(WalTest, Crc32cMatchesTheCastagnoliCheckValue) {
+  // The standard CRC-32C check value: crc of "123456789".
+  EXPECT_EQ(persist::crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(persist::crc32c("", 0), 0u);
+  // Chaining partial computations equals one pass.
+  const std::uint32_t partial = persist::crc32c("12345", 5);
+  EXPECT_EQ(persist::crc32c("6789", 4, partial),
+            persist::crc32c("123456789", 9));
+}
+
+TEST(WalTest, FsyncPolicyParsesAndRoundTrips) {
+  EXPECT_EQ(persist::fsync_policy_from_string("always"), FsyncPolicy::Always);
+  EXPECT_EQ(persist::fsync_policy_from_string("interval"),
+            FsyncPolicy::Interval);
+  EXPECT_EQ(persist::fsync_policy_from_string("off"), FsyncPolicy::Off);
+  EXPECT_STREQ(persist::to_string(FsyncPolicy::Interval), "interval");
+  EXPECT_THROW(persist::fsync_policy_from_string("zebra"), PersistError);
+}
+
+TEST(WalTest, AppendReopenRoundTripsBinaryPayloads) {
+  TempDir dir;
+  const std::string path = dir.file("log.wal");
+  const std::vector<std::string> payloads = {
+      "hello", "", std::string("\x00\x01\xff\x7f", 4), "{\"k\":1}",
+      std::string(3000, 'x')};
+  {
+    Wal wal = Wal::open(path, FsyncPolicy::Off);
+    for (const std::string& payload : payloads) wal.append(payload);
+    EXPECT_EQ(wal.appends(), payloads.size());
+    wal.sync();
+  }
+  WalReplay replay;
+  Wal wal = Wal::open(path, FsyncPolicy::Off, 0.025, &replay);
+  EXPECT_EQ(replay.records, payloads);
+  EXPECT_EQ(replay.truncated_bytes, 0u);
+  EXPECT_EQ(replay.valid_bytes, wal.size_bytes());
+}
+
+TEST(WalTest, TornTailTruncateAtEveryOffsetKeepsTheLongestValidPrefix) {
+  TempDir dir;
+  const std::string golden = dir.file("golden.wal");
+  const std::vector<std::string> payloads = {
+      "a", "bb", "", "record-three", std::string(40, 'z'), "tail"};
+  std::vector<std::uint64_t> boundaries = {0};  // byte size after k records
+  {
+    Wal wal = Wal::open(golden, FsyncPolicy::Off);
+    for (const std::string& payload : payloads) {
+      wal.append(payload);
+      boundaries.push_back(wal.size_bytes());
+    }
+  }
+  const std::string bytes = read_file(golden);
+  ASSERT_EQ(bytes.size(), boundaries.back());
+
+  const std::string torn = dir.file("torn.wal");
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    // The longest valid prefix: every record fully inside the cut.
+    std::size_t keep = 0;
+    while (keep < payloads.size() && boundaries[keep + 1] <= cut) ++keep;
+
+    write_file(torn, bytes.substr(0, cut));
+    WalReplay replay;
+    {
+      Wal wal = Wal::open(torn, FsyncPolicy::Off, 0.025, &replay);
+      ASSERT_EQ(replay.records.size(), keep) << "cut at " << cut;
+      for (std::size_t i = 0; i < keep; ++i) {
+        EXPECT_EQ(replay.records[i], payloads[i]) << "cut at " << cut;
+      }
+      EXPECT_EQ(replay.valid_bytes, boundaries[keep]) << "cut at " << cut;
+      EXPECT_EQ(replay.truncated_bytes, cut - boundaries[keep])
+          << "cut at " << cut;
+      // The log must accept appends right after tail truncation.
+      wal.append("after-truncate");
+    }
+    WalReplay again;
+    Wal::open(torn, FsyncPolicy::Off, 0.025, &again);
+    ASSERT_EQ(again.records.size(), keep + 1) << "cut at " << cut;
+    EXPECT_EQ(again.records.back(), "after-truncate") << "cut at " << cut;
+    EXPECT_EQ(again.truncated_bytes, 0u) << "cut at " << cut;
+  }
+}
+
+TEST(WalTest, CrcCorruptionDropsTheRecordAndEverythingAfterIt) {
+  TempDir dir;
+  const std::string path = dir.file("log.wal");
+  const std::vector<std::string> payloads = {"one", "two", "three", "four"};
+  std::vector<std::uint64_t> boundaries = {0};
+  {
+    Wal wal = Wal::open(path, FsyncPolicy::Off);
+    for (const std::string& payload : payloads) {
+      wal.append(payload);
+      boundaries.push_back(wal.size_bytes());
+    }
+  }
+  // Flip one payload byte of record 2 (offset: its frame start + 8-byte
+  // header). Records 3+ are still intact on disk, but the prefix contract
+  // says they go too: the log is only trusted up to the first bad frame.
+  std::string bytes = read_file(path);
+  bytes[boundaries[2] + 8] ^= 0x40;
+  write_file(path, bytes);
+
+  WalReplay replay;
+  {
+    Wal wal = Wal::open(path, FsyncPolicy::Off, 0.025, &replay);
+    ASSERT_EQ(replay.records.size(), 2u);
+    EXPECT_EQ(replay.records[0], "one");
+    EXPECT_EQ(replay.records[1], "two");
+    EXPECT_EQ(replay.valid_bytes, boundaries[2]);
+    EXPECT_EQ(replay.truncated_bytes, bytes.size() - boundaries[2]);
+    wal.append("five");
+  }
+  WalReplay again;
+  Wal::open(path, FsyncPolicy::Off, 0.025, &again);
+  const std::vector<std::string> expected = {"one", "two", "five"};
+  EXPECT_EQ(again.records, expected);
+}
+
+// --- Fault points ----------------------------------------------------------
+
+TEST(WalTest, InjectedAppendFailureWritesNothing) {
+  TempDir dir;
+  FaultGuard guard;
+  const std::string path = dir.file("log.wal");
+  Wal wal = Wal::open(path, FsyncPolicy::Off);
+  wal.append("kept");
+  const std::uint64_t before = wal.size_bytes();
+  util::fault::configure("persist.append=n1");
+  EXPECT_THROW(wal.append("dropped"), PersistError);
+  // persist.append fires BEFORE any byte is written: the file is clean, the
+  // record simply never happened, and the log keeps working afterwards.
+  EXPECT_EQ(wal.size_bytes(), before);
+  util::fault::disable();
+  wal.append("next");
+  wal.close();
+  WalReplay replay;
+  Wal::open(path, FsyncPolicy::Off, 0.025, &replay);
+  const std::vector<std::string> expected = {"kept", "next"};
+  EXPECT_EQ(replay.records, expected);
+}
+
+TEST(WalTest, InjectedFsyncFailureThrowsButTheRecordIsOnFile) {
+  TempDir dir;
+  FaultGuard guard;
+  const std::string path = dir.file("log.wal");
+  Wal wal = Wal::open(path, FsyncPolicy::Always);
+  util::fault::configure("persist.fsync=n1");
+  // Under --fsync always the append throws (no ack may be sent), but the
+  // write() itself completed — the record may legitimately survive, which
+  // is exactly the "at most one unacked record" recovery window.
+  EXPECT_THROW(wal.append("unacked"), PersistError);
+  util::fault::disable();
+  wal.close();
+  WalReplay replay;
+  Wal::open(path, FsyncPolicy::Off, 0.025, &replay);
+  const std::vector<std::string> expected = {"unacked"};
+  EXPECT_EQ(replay.records, expected);
+}
+
+// --- Session journal -------------------------------------------------------
+
+TEST(JournalTest, FailsFastOnMissingDirNotADirAndHeldLock) {
+  persist::JournalConfig missing;
+  missing.dir = "/tmp/bagsched-no-such-dir-12345";
+  try {
+    SessionJournal journal(missing);
+    FAIL() << "expected PersistError";
+  } catch (const PersistError& error) {
+    EXPECT_NE(std::string(error.what()).find("does not exist"),
+              std::string::npos);
+  }
+
+  TempDir dir;
+  write_file(dir.file("plainfile"), "x");
+  persist::JournalConfig not_a_dir;
+  not_a_dir.dir = dir.file("plainfile");
+  EXPECT_THROW(SessionJournal{not_a_dir}, PersistError);
+
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  SessionJournal first(config);
+  try {
+    SessionJournal second(config);
+    FAIL() << "expected the LOCK to be held";
+  } catch (const PersistError& error) {
+    EXPECT_NE(std::string(error.what()).find("locked"), std::string::npos);
+  }
+}
+
+TEST(JournalTest, LockIsReleasedWhenTheJournalCloses) {
+  TempDir dir;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  {
+    SessionJournal journal(config);
+    journal.replay();
+  }
+  SessionJournal reopened(config);  // must not throw
+  EXPECT_EQ(reopened.replay().sessions.size(), 0u);
+}
+
+TEST(JournalTest, ReplayTwiceThrows) {
+  TempDir dir;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  SessionJournal journal(config);
+  journal.replay();
+  EXPECT_THROW(journal.replay(), PersistError);
+}
+
+TEST(JournalTest, OpenCommitCloseReplayRoundTripsEverySession) {
+  TempDir dir;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  config.fsync = FsyncPolicy::Off;
+  config.snapshot_every = 0;  // keep the raw record stream
+
+  const auto trace = gen::churn_trace(tiny_churn(21));
+  const online::SessionOptions tuning = cheap_tuning();
+  online::ScheduleSession live(trace.initial, tuning);
+  const std::uint64_t epoch = 0xDEADBEEFDEADBEEFULL;  // full-range u64
+
+  std::string final_digest;
+  {
+    SessionJournal journal(config);
+    journal.replay();
+    journal.record_open(7, epoch, trace.initial, tuning, live.schedule());
+    for (const model::Delta& delta : trace.deltas) {
+      const api::SolveResult result = live.apply(delta);
+      ASSERT_NE(result.status, api::SolveStatus::Infeasible);
+      journal.record_commit(7, live.revision(), delta, live.schedule());
+    }
+    // A second session that opens and closes must not resurrect.
+    journal.record_open(9, 42, trace.initial, tuning, live.schedule());
+    journal.record_close(9);
+    final_digest = persist::schedule_digest(live.schedule());
+    const persist::JournalStats stats = journal.stats();
+    EXPECT_EQ(stats.records_appended, trace.deltas.size() + 3);
+    EXPECT_EQ(stats.live_sessions, 1u);
+    journal.sync();
+  }
+
+  SessionJournal reopened(config);
+  const persist::RecoveredState state = reopened.replay();
+  EXPECT_EQ(state.records_replayed, trace.deltas.size() + 3);
+  EXPECT_EQ(state.max_session_id, 9u);
+  ASSERT_EQ(state.sessions.size(), 1u);
+  const persist::RecoveredSession& recovered = state.sessions[0];
+  EXPECT_EQ(recovered.session, 7u);
+  EXPECT_EQ(recovered.epoch, epoch);
+  EXPECT_EQ(recovered.revision, trace.deltas.size());
+  EXPECT_EQ(recovered.digest, final_digest);
+  EXPECT_EQ(persist::schedule_digest(recovered.schedule), final_digest);
+  EXPECT_EQ(cache::Canonicalizer::exact(recovered.instance).fingerprint,
+            cache::Canonicalizer::exact(live.instance()).fingerprint);
+  EXPECT_EQ(recovered.tuning.solvers, tuning.solvers);
+  EXPECT_DOUBLE_EQ(recovered.tuning.regret_bound, tuning.regret_bound);
+  EXPECT_FALSE(recovered.last_delta_json.empty());
+}
+
+TEST(JournalTest, SnapshotCompactionPreservesTheRecoveredState) {
+  TempDir dir;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  config.fsync = FsyncPolicy::Off;
+  config.snapshot_every = 0;
+
+  const auto trace = gen::churn_trace(tiny_churn(22));
+  const online::SessionOptions tuning = cheap_tuning();
+  online::ScheduleSession live(trace.initial, tuning);
+  std::uint64_t incremental_bytes = 0;
+  {
+    SessionJournal journal(config);
+    journal.replay();
+    journal.record_open(1, 11, trace.initial, tuning, live.schedule());
+    for (const model::Delta& delta : trace.deltas) {
+      ASSERT_NE(live.apply(delta).status, api::SolveStatus::Infeasible);
+      journal.record_commit(1, live.revision(), delta, live.schedule());
+    }
+    incremental_bytes = journal.stats().journal_bytes;
+    journal.snapshot();
+    const persist::JournalStats stats = journal.stats();
+    EXPECT_EQ(stats.snapshots, 1u);
+    // Compaction rewrote the history as one snapshot record.
+    EXPECT_LT(stats.journal_bytes, incremental_bytes);
+    // The compacted journal keeps accepting appends.
+    journal.record_open(2, 12, trace.initial, tuning, live.schedule());
+  }
+
+  SessionJournal reopened(config);
+  const persist::RecoveredState state = reopened.replay();
+  ASSERT_EQ(state.sessions.size(), 2u);
+  EXPECT_EQ(state.max_session_id, 2u);
+  const persist::RecoveredSession& one = state.sessions[0];
+  EXPECT_EQ(one.session, 1u);
+  EXPECT_EQ(one.epoch, 11u);
+  EXPECT_EQ(one.revision, trace.deltas.size());
+  EXPECT_EQ(one.digest, persist::schedule_digest(live.schedule()));
+  EXPECT_EQ(cache::Canonicalizer::exact(one.instance).fingerprint,
+            cache::Canonicalizer::exact(live.instance()).fingerprint);
+  EXPECT_EQ(state.sessions[1].session, 2u);
+  EXPECT_EQ(state.sessions[1].revision, 0u);
+}
+
+TEST(JournalTest, AutomaticCompactionTriggersEverySnapshotEveryRecords) {
+  TempDir dir;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  config.fsync = FsyncPolicy::Off;
+  config.snapshot_every = 3;
+
+  const auto trace = gen::churn_trace(tiny_churn(23));
+  const online::SessionOptions tuning = cheap_tuning();
+  online::ScheduleSession live(trace.initial, tuning);
+  SessionJournal journal(config);
+  journal.replay();
+  journal.record_open(1, 1, trace.initial, tuning, live.schedule());
+  for (const model::Delta& delta : trace.deltas) {
+    ASSERT_NE(live.apply(delta).status, api::SolveStatus::Infeasible);
+    journal.record_commit(1, live.revision(), delta, live.schedule());
+  }
+  // 1 open + 8 commits at snapshot_every=3 → at least two compactions.
+  EXPECT_GE(journal.stats().snapshots, 2u);
+  EXPECT_EQ(journal.stats().live_sessions, 1u);
+}
+
+TEST(JournalTest, InjectedSnapshotFailureKeepsTheOldJournalValid) {
+  TempDir dir;
+  FaultGuard guard;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  config.fsync = FsyncPolicy::Off;
+  config.snapshot_every = 0;
+
+  const auto trace = gen::churn_trace(tiny_churn(24));
+  const online::SessionOptions tuning = cheap_tuning();
+  online::ScheduleSession live(trace.initial, tuning);
+  {
+    SessionJournal journal(config);
+    journal.replay();
+    journal.record_open(1, 5, trace.initial, tuning, live.schedule());
+    util::fault::configure("persist.snapshot=n1");
+    EXPECT_THROW(journal.snapshot(), PersistError);
+    EXPECT_EQ(journal.stats().snapshot_failures, 1u);
+    util::fault::disable();
+  }
+  SessionJournal reopened(config);
+  EXPECT_EQ(reopened.replay().sessions.size(), 1u);
+}
+
+TEST(JournalTest, InjectedAppendFailurePreservesAppendBeforeAck) {
+  TempDir dir;
+  FaultGuard guard;
+  persist::JournalConfig config;
+  config.dir = dir.path();
+  config.fsync = FsyncPolicy::Off;
+  config.snapshot_every = 0;
+
+  const auto trace = gen::churn_trace(tiny_churn(25));
+  const online::SessionOptions tuning = cheap_tuning();
+  online::ScheduleSession live(trace.initial, tuning);
+  {
+    SessionJournal journal(config);
+    journal.replay();
+    util::fault::configure("persist.append=n1");
+    EXPECT_THROW(
+        journal.record_open(1, 5, trace.initial, tuning, live.schedule()),
+        PersistError);
+    util::fault::disable();
+    // The failed open never reached the journal: no shadow session, no
+    // record. A retry under a fresh id goes through.
+    EXPECT_EQ(journal.stats().live_sessions, 0u);
+    EXPECT_EQ(journal.stats().records_appended, 0u);
+    journal.record_open(2, 6, trace.initial, tuning, live.schedule());
+  }
+  SessionJournal reopened(config);
+  const persist::RecoveredState state = reopened.replay();
+  ASSERT_EQ(state.sessions.size(), 1u);
+  EXPECT_EQ(state.sessions[0].session, 2u);
+}
+
+}  // namespace
+}  // namespace bagsched
